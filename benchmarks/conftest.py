@@ -1,0 +1,141 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+(§5), printing the same rows/series the paper reports and appending them to
+``benchmarks/results/``.  Absolute numbers depend on the simulated scale;
+the *shape* (who wins, by what factor, where crossovers fall) is the claim
+being reproduced.
+
+Scale is controlled by the ``REPRO_SCALE`` environment variable:
+
+* ``small`` (default) — CI-friendly: 64-node racks, hundreds of flows.
+* ``medium`` — 216-node racks, thousands of flows.
+* ``paper`` — the paper's full 512-node 3D torus parameters (slow!).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.congestion.linkweights import WeightProvider
+from repro.topology import TorusTopology
+from repro.types import usec
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Per-scale experiment parameters."""
+
+    name: str
+    torus_dims: tuple
+    n_flows: int
+    tau_sweep_ns: tuple  # flow inter-arrival times for the load sweeps
+    tau_default_ns: int
+    crossval_flows: int
+    fig18_loads: tuple
+
+    @property
+    def n_nodes(self) -> int:
+        n = 1
+        for d in self.torus_dims:
+            n *= d
+        return n
+
+
+SCALES = {
+    "small": Scale(
+        name="small",
+        torus_dims=(4, 4, 4),
+        n_flows=600,
+        tau_sweep_ns=(1_000, 5_000, 25_000),
+        tau_default_ns=2_000,
+        crossval_flows=60,
+        fig18_loads=(0.125, 0.25, 0.5, 0.75, 1.0),
+    ),
+    "medium": Scale(
+        name="medium",
+        torus_dims=(6, 6, 6),
+        n_flows=1_500,
+        tau_sweep_ns=(500, 1_000, 10_000, 50_000),
+        tau_default_ns=1_000,
+        crossval_flows=150,
+        fig18_loads=(0.125, 0.25, 0.5, 0.75, 1.0),
+    ),
+    "paper": Scale(
+        name="paper",
+        torus_dims=(8, 8, 8),
+        n_flows=4_000,
+        tau_sweep_ns=(100, 1_000, 10_000, 100_000),
+        tau_default_ns=1_000,
+        crossval_flows=1_000,
+        fig18_loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    ),
+}
+
+
+def current_scale() -> Scale:
+    """The scale selected by REPRO_SCALE (default: small)."""
+    name = os.environ.get("REPRO_SCALE", "small")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_SCALE must be one of {sorted(SCALES)}, got {name!r}")
+    return SCALES[name]
+
+
+def emit(figure: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {figure} [scale={current_scale().name}] =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{figure}.txt"
+    path.write_text(banner + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """The active experiment scale."""
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def eval_topology(scale):
+    """The evaluation rack: a 3D torus with 10 Gbps / 100 ns links (§5.2)."""
+    return TorusTopology(scale.torus_dims)
+
+
+@pytest.fixture(scope="session")
+def eval_provider(eval_topology):
+    """Session-shared link-weight cache (the expensive part of sweeps)."""
+    return WeightProvider(eval_topology)
+
+
+# ----------------------------------------------------------------------
+# Shared packet-simulation sweep (Figures 10-14 reuse these runs)
+# ----------------------------------------------------------------------
+_SWEEP_CACHE = {}
+
+
+def sweep_run(topology, provider, stack: str, tau_ns: int, n_flows: int, seed: int = 7):
+    """Memoized packet-simulation run for the τ sweep."""
+    from repro.sim import SimConfig, run_simulation
+    from repro.workloads import ParetoSizes, poisson_trace
+
+    key = (id(topology), stack, tau_ns, n_flows, seed)
+    if key not in _SWEEP_CACHE:
+        trace = poisson_trace(
+            topology,
+            n_flows,
+            tau_ns,
+            sizes=ParetoSizes(mean_bytes=100 * 1024, shape=1.05, cap_bytes=20_000_000),
+            seed=seed,
+        )
+        config = SimConfig(stack=stack, recompute_interval_ns=usec(500), seed=seed)
+        _SWEEP_CACHE[key] = run_simulation(
+            topology, trace, config, provider=provider if stack == "r2c2" else None
+        )
+    return _SWEEP_CACHE[key]

@@ -1,0 +1,100 @@
+"""Figure 2 (table): saturation throughput of four routing algorithms on an
+8-ary 2-cube across six traffic patterns.
+
+Paper values (fractions of capacity):
+
+    pattern           RPS   DTR   VLB   WLB
+    nearest neighbor  4.00  4.00  0.50  2.33
+    uniform           1.00  1.00  0.50  0.76
+    bit complement    0.40  0.50  0.50  0.42
+    transpose         0.54  0.25  0.50  0.57
+    tornado           0.33  0.33  0.50  0.53
+    worst-case        0.21  0.25  0.50  0.31
+
+This one is exact analysis (channel loads + worst-case matchings), so it is
+independent of REPRO_SCALE and should match the paper closely.
+"""
+
+import pytest
+
+from repro.analysis import format_table, throughput_table
+from repro.routing import (
+    DestinationTagRouting,
+    RandomPacketSpraying,
+    ValiantLoadBalancing,
+    WeightedLoadBalancing,
+)
+from repro.topology import TorusTopology
+from repro.workloads import STANDARD_PATTERNS
+
+from conftest import emit
+
+PAPER = {
+    "nearest-neighbor": {"rps": 4.0, "dor": 4.0, "vlb": 0.5, "wlb": 2.33},
+    "uniform": {"rps": 1.0, "dor": 1.0, "vlb": 0.5, "wlb": 0.76},
+    "bit-complement": {"rps": 0.4, "dor": 0.5, "vlb": 0.5, "wlb": 0.42},
+    "transpose": {"rps": 0.54, "dor": 0.25, "vlb": 0.5, "wlb": 0.57},
+    "tornado": {"rps": 0.33, "dor": 0.33, "vlb": 0.5, "wlb": 0.53},
+    "worst-case": {"rps": 0.21, "dor": 0.25, "vlb": 0.5, "wlb": 0.31},
+}
+
+PATTERN_ORDER = (
+    "nearest-neighbor",
+    "uniform",
+    "bit-complement",
+    "transpose",
+    "tornado",
+    "worst-case",
+)
+
+
+def build_table():
+    topo = TorusTopology((8, 8))
+    protocols = [
+        RandomPacketSpraying(topo),
+        DestinationTagRouting(topo),
+        ValiantLoadBalancing(topo),
+        WeightedLoadBalancing(topo),
+    ]
+    patterns = [STANDARD_PATTERNS[p] for p in PATTERN_ORDER if p != "worst-case"]
+    return throughput_table(protocols, patterns, include_worst_case=True)
+
+
+def test_fig02_routing_throughput_table(benchmark):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+
+    rows = {}
+    for pattern in PATTERN_ORDER:
+        measured = table[pattern]
+        rows[pattern] = [
+            measured["rps"], measured["dor"], measured["vlb"], measured["wlb"],
+            "| paper:",
+            PAPER[pattern]["rps"], PAPER[pattern]["dor"],
+            PAPER[pattern]["vlb"], PAPER[pattern]["wlb"],
+        ]
+    emit(
+        "fig02_routing_table",
+        format_table(
+            "Throughput as fraction of capacity, 8-ary 2-cube (measured | paper)",
+            ["rps", "dor", "vlb", "wlb", "", "rps", "dor", "vlb", "wlb"],
+            rows,
+        ),
+    )
+
+    # Shape assertions: the paper's qualitative structure.
+    assert table["nearest-neighbor"]["rps"] == pytest.approx(4.0, abs=0.05)
+    assert table["uniform"]["rps"] == pytest.approx(1.0, abs=0.08)
+    assert table["tornado"]["rps"] == pytest.approx(1 / 3, abs=0.02)
+    assert table["tornado"]["wlb"] == pytest.approx(0.53, abs=0.03)
+    # VLB is flat at 0.5 everywhere.
+    for pattern in PATTERN_ORDER:
+        assert table[pattern]["vlb"] == pytest.approx(0.5, abs=0.06)
+    # No single algorithm wins everywhere: minimal routing dominates on
+    # local traffic, VLB dominates the worst case.
+    assert table["nearest-neighbor"]["rps"] > table["nearest-neighbor"]["vlb"]
+    assert table["worst-case"]["vlb"] > table["worst-case"]["rps"]
+    assert table["worst-case"]["vlb"] > table["worst-case"]["dor"]
+    # WLB interpolates: beats VLB on local patterns, beats minimal in the
+    # worst case.
+    assert table["nearest-neighbor"]["wlb"] > table["nearest-neighbor"]["vlb"]
+    assert table["worst-case"]["wlb"] > table["worst-case"]["rps"]

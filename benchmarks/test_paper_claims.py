@@ -1,0 +1,102 @@
+"""Supporting quantitative claims from outside the figure set.
+
+Each test pins one number the paper states in prose:
+
+* §2.2.2 — an average flow in a small 3D-torus rack has 1,680 minimal paths.
+* §3.2  — one 512-node broadcast is ≈8 KB on the wire; announcing a 10 KB
+  flow costs 26.66 %; all-pairs flows generate ≈681 KB per link.
+* §3.2  — the rack expects "less than two failures a day".
+* §4.2  — the per-{protocol, destination} weight cache fits in ~6 MB for a
+  512-node rack.
+* §6   — a broadcast on a 512-host folded Clos is ≈8.7 KB.
+* §3.3.1 — Figure 4's {2/3, 2/3} vs {1, 1} allocation gap.
+"""
+
+import pytest
+
+from repro.broadcast import (
+    FailureRecovery,
+    all_pairs_broadcast_bytes_per_link,
+    broadcast_bytes_total,
+    flow_event_overhead,
+)
+from repro.congestion import FlowSpec, PathFlow, WeightProvider, maxmin_rates, waterfill
+from repro.routing.static import StaticPathSet
+from repro.topology import FoldedClosTopology, GraphTopology, TorusTopology, count_shortest_paths
+
+from conftest import emit
+
+
+def test_paper_prose_claims(benchmark):
+    lines = []
+
+    def check(label, measured, paper, tolerance):
+        lines.append(f"{label}: measured={measured:.4g} paper={paper:.4g}")
+        assert measured == pytest.approx(paper, rel=tolerance), label
+
+    def run_all():
+        # 1,680 minimal paths for a (3,3,3) displacement.
+        torus = TorusTopology((8, 8, 8))
+        check(
+            "minimal paths, (3,3,3) displacement",
+            count_shortest_paths(torus, torus.node_at((0, 0, 0)), torus.node_at((3, 3, 3))),
+            1680,
+            0,
+        )
+        # Broadcast byte math.
+        check("512-node broadcast bytes", broadcast_bytes_total(512), 8176, 0.01)
+        check(
+            "10KB flow announce overhead",
+            flow_event_overhead(10 * 1024, 512, 6.0),
+            0.2666,
+            0.02,
+        )
+        check(
+            "all-pairs broadcast KB/link",
+            all_pairs_broadcast_bytes_per_link(torus) / 1000,
+            681,
+            0.04,
+        )
+        # Failure-rate estimate.
+        check(
+            "failures/day, 512 nodes x 4 CPUs",
+            FailureRecovery().expected_failures_per_day(512),
+            1.68,
+            0.01,
+        )
+        # Folded-Clos broadcast cost (§6).
+        clos = FoldedClosTopology(512, radix=32)
+        check(
+            "Clos broadcast bytes",
+            broadcast_bytes_total(clos.n_nodes),
+            8700,
+            0.04,
+        )
+        # Weight-cache footprint (§4.2): 511 destinations x 3072 links
+        # bounded by 6 MB; our sparse cache stores only used links.
+        provider = WeightProvider(torus)
+        for dst in range(1, 512, 8):
+            provider.weights_for(FlowSpec(dst, 0, dst, "rps"))
+        projected = provider.memory_footprint_bytes() * 511 / len(range(1, 512, 8))
+        lines.append(f"projected weight cache: {projected / 1e6:.2f} MB (paper < 6 MB)")
+        assert projected < 6e6
+        # Figure 4 allocation gap.
+        graph = GraphTopology(
+            4, [(0, 3), (0, 2), (2, 3), (1, 2)], capacity_bps=1.0, latency_ns=0
+        )
+        static = StaticPathSet(graph)
+        static.set_paths(0, 3, [[0, 3], [0, 2, 3]])
+        static.set_paths(1, 3, [[1, 2, 3]])
+        sp = WeightProvider(graph, {"static": static})
+        alloc = waterfill(
+            graph, [FlowSpec(1, 0, 3, "static"), FlowSpec(2, 1, 3, "static")], sp
+        )
+        check("Fig4 R2C2 rate", alloc.rates_bps[1], 2 / 3, 0.001)
+        ideal = maxmin_rates(
+            graph, [PathFlow(1, [[0, 3], [0, 2, 3]]), PathFlow(2, [[1, 2, 3]])]
+        )
+        check("Fig4 exact max-min rate", ideal[1], 1.0, 0.001)
+        return lines
+
+    result = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("paper_prose_claims", "\n".join(result))

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Failure handling in the broadcast control plane (paper §3.2).
+
+Demonstrates the full failure story: a link dies, topology discovery tells
+every node, all nodes re-announce their ongoing flows, tables re-converge,
+and rate computation adapts to the degraded fabric.  Also shows the
+broadcast-reliability machinery (drop notification and retransmission) and
+the paper's failure-rate arithmetic.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro.broadcast import (
+    BroadcastForwarderReliability,
+    BroadcastSenderReliability,
+    FailureRecovery,
+)
+from repro.core import Rack
+from repro.topology import TorusTopology
+from repro.types import usec
+
+
+def main() -> None:
+    topology = TorusTopology((4, 4))
+    rack = Rack(topology)
+
+    flows = [rack.start_flow(0, 10), rack.start_flow(1, 10), rack.start_flow(5, 10)]
+    rack.advance_time(usec(500))
+    print("rates before the failure:")
+    for fid in flows:
+        print(f"  flow {fid}: {rack.rate_of(fid) / 1e9:.2f} Gbps")
+
+    # --- a cable dies ---------------------------------------------------
+    reannounced = rack.inject_link_failure(1, 2)
+    print(f"\nlink 1->2 failed: {reannounced} flows re-announced rack-wide; "
+          f"tables consistent: {rack.tables_consistent()}")
+
+    # Rebuild the control plane against the degraded fabric and compare.
+    degraded = topology.without_links([(1, 2), (2, 1)])
+    rack2 = Rack(degraded)
+    flows2 = [rack2.start_flow(0, 10), rack2.start_flow(1, 10), rack2.start_flow(5, 10)]
+    rack2.advance_time(usec(500))
+    print("\nrates on the degraded fabric (routing around the dead cable):")
+    for fid in flows2:
+        print(f"  flow {fid}: {rack2.rate_of(fid) / 1e9:.2f} Gbps")
+
+    # --- broadcast drop recovery ----------------------------------------
+    print("\nbroadcast drop/retransmit machinery:")
+    sender = BroadcastSenderReliability(max_retransmits=3)
+    forwarder = BroadcastForwarderReliability(node=7)
+    seq = sender.register(b"\x21" + b"\x00" * 15, tree_id=1)
+    note = forwarder.on_queue_overflow(source=0, seq=seq)
+    print(f"  node {note.dropped_at} dropped broadcast seq {note.seq}; "
+          f"notifying source {note.source}")
+    entry = sender.on_drop_notification(note.seq)
+    print(f"  source retransmits on tree {entry.tree_id} "
+          f"(attempt {entry.retransmits})")
+
+    # --- expected failure rate ------------------------------------------
+    recovery = FailureRecovery()
+    per_day = recovery.expected_failures_per_day(512, cpus_per_node=4)
+    print(f"\npaper's estimate for a 512-node rack: {per_day:.2f} failures/day"
+          " -> re-announcing all flows on failure is cheap")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Analysis toolkit: channel-load throughput, statistics, table printers."""
+
+from .channel_load import (
+    channel_loads,
+    max_channel_utilization,
+    saturation_throughput,
+    throughput_table,
+)
+from .stats import (
+    SummaryStats,
+    cdf_at,
+    empirical_cdf,
+    ks_distance,
+    median,
+    normalized_against,
+    percentile,
+)
+from .tables import format_comparison, format_series, format_table
+
+__all__ = [
+    "SummaryStats",
+    "cdf_at",
+    "channel_loads",
+    "empirical_cdf",
+    "format_comparison",
+    "format_series",
+    "format_table",
+    "ks_distance",
+    "max_channel_utilization",
+    "median",
+    "normalized_against",
+    "percentile",
+    "saturation_throughput",
+    "throughput_table",
+]

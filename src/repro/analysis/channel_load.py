@@ -1,0 +1,96 @@
+"""Channel-load throughput analysis (reproduces the Figure 2 table).
+
+For oblivious routing, the saturation throughput on a traffic pattern is
+determined by the most loaded channel: if every node injects at rate θ (in
+units of link capacity) and γ_max is the largest per-unit-injection channel
+load the pattern induces, the network saturates at ``θ = 1 / γ_max``.
+Figure 2 reports exactly this number for four routing algorithms and six
+patterns on an 8-ary 2-cube.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..routing.base import RoutingProtocol
+from ..workloads.patterns import TrafficMatrix, TrafficPattern
+from ..workloads.worstcase import worst_case_throughput
+
+
+def channel_loads(
+    protocol: RoutingProtocol, matrix: TrafficMatrix
+) -> np.ndarray:
+    """Per-channel load for unit per-node injection under *matrix*.
+
+    ``matrix[(s, d)]`` is the fraction of s's injection aimed at d; the
+    returned vector has one entry per directed link, in units of
+    (injection-rate x link-traversals).
+    """
+    topo = protocol.topology
+    load = np.zeros(topo.n_links, dtype=np.float64)
+    for (src, dst), frac in matrix.items():
+        if frac <= 0 or src == dst:
+            continue
+        for link, weight in protocol.link_weights(src, dst).items():
+            load[link] += frac * weight
+    return load
+
+
+def saturation_throughput(
+    protocol: RoutingProtocol, matrix: TrafficMatrix
+) -> float:
+    """Saturation injection rate as a fraction of link capacity.
+
+    1.0 means each node can inject one full link's worth of traffic before
+    any channel saturates (the normalization Figure 2 uses, where uniform
+    traffic under minimal routing on a torus achieves exactly 1.0).
+    """
+    loads = channel_loads(protocol, matrix)
+    max_load = float(loads.max()) if loads.size else 0.0
+    if max_load <= 0:
+        return float("inf")
+    return 1.0 / max_load
+
+
+def throughput_table(
+    protocols: Sequence[RoutingProtocol],
+    patterns: Sequence[TrafficPattern],
+    include_worst_case: bool = True,
+) -> Dict[str, Dict[str, float]]:
+    """The full Figure 2 table: ``table[pattern][protocol] = throughput``.
+
+    All protocols must share one topology.  When *include_worst_case* is
+    set, a ``"worst-case"`` row is added using each protocol's own
+    adversarial permutation (so the row's entries correspond to different
+    patterns, exactly as in the paper).
+    """
+    topologies = {id(p.topology) for p in protocols}
+    if len(topologies) != 1:
+        raise ValueError("all protocols must be bound to the same topology")
+    topology = protocols[0].topology
+
+    table: Dict[str, Dict[str, float]] = {}
+    for pattern in patterns:
+        matrix = pattern.matrix(topology)
+        table[pattern.name] = {
+            protocol.name: saturation_throughput(protocol, matrix)
+            for protocol in protocols
+        }
+    if include_worst_case:
+        table["worst-case"] = {
+            protocol.name: worst_case_throughput(protocol) for protocol in protocols
+        }
+    return table
+
+
+def max_channel_utilization(
+    protocol: RoutingProtocol,
+    matrix: TrafficMatrix,
+    injection_bps: float,
+) -> float:
+    """Utilization of the busiest channel at a given per-node injection."""
+    loads = channel_loads(protocol, matrix)
+    capacity = protocol.topology.capacity_bps
+    return float(loads.max()) * injection_bps / capacity if loads.size else 0.0

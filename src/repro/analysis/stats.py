@@ -1,0 +1,109 @@
+"""Statistics helpers: CDFs, percentiles, summary rows.
+
+Everything the evaluation plots need: empirical CDFs (Figures 7, 10, 11),
+percentiles (99th-percentile FCTs, 95th-percentile rate errors), and
+normalized comparisons against a baseline (Figures 12, 13, 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """The *pct*-th percentile (linear interpolation, numpy semantics)."""
+    if not len(values):
+        raise ReproError("percentile of empty sequence")
+    if not (0.0 <= pct <= 100.0):
+        raise ReproError(f"percentile must be in [0, 100], got {pct}")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), pct))
+
+
+def median(values: Sequence[float]) -> float:
+    """The 50th percentile."""
+    return percentile(values, 50.0)
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted values and cumulative probabilities (a plottable CDF)."""
+    if not len(values):
+        raise ReproError("CDF of empty sequence")
+    xs = np.sort(np.asarray(values, dtype=np.float64))
+    ps = np.arange(1, len(xs) + 1, dtype=np.float64) / len(xs)
+    return xs, ps
+
+
+def cdf_at(values: Sequence[float], x: float) -> float:
+    """Fraction of samples <= x."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("CDF of empty sequence")
+    return float((arr <= x).mean())
+
+
+@dataclass
+class SummaryStats:
+    """Five-number-ish summary used in experiment printouts."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "SummaryStats":
+        if not len(values):
+            raise ReproError("summary of empty sequence")
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            max=float(arr.max()),
+        )
+
+    def row(self) -> Dict[str, float]:
+        """Dict form for table printers."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+def normalized_against(
+    values: Dict[str, float], baseline_key: str
+) -> Dict[str, float]:
+    """Each entry divided by the baseline entry (Figures 12/13/18 style)."""
+    if baseline_key not in values:
+        raise ReproError(f"baseline {baseline_key!r} missing from {sorted(values)}")
+    base = values[baseline_key]
+    if base == 0:
+        raise ReproError("cannot normalize against a zero baseline")
+    return {key: value / base for key, value in values.items()}
+
+
+def ks_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov distance between empirical CDFs.
+
+    Used by the Figure 7 cross-validation to quantify how closely the Maze
+    emulation and the packet simulator agree.
+    """
+    xa, pa = empirical_cdf(a)
+    xb, pb = empirical_cdf(b)
+    grid = np.union1d(xa, xb)
+    ca = np.searchsorted(xa, grid, side="right") / len(xa)
+    cb = np.searchsorted(xb, grid, side="right") / len(xb)
+    return float(np.abs(ca - cb).max())

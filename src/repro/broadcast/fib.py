@@ -1,0 +1,98 @@
+"""The broadcast forwarding information base (paper §3.2).
+
+Every rack node holds a FIB indexed by ``<src-address, tree-id>`` yielding
+the set of next-hop nodes a broadcast packet must be forwarded to.  The FIB
+is precomputed from the per-source broadcast trees; forwarding is then a
+single dictionary lookup per hop, cheap enough for an on-chip
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import BroadcastError
+from ..topology.base import Topology
+from ..types import NodeId
+from .tree import BroadcastTree, build_broadcast_trees
+
+
+class BroadcastFib:
+    """Per-node broadcast forwarding tables for a whole rack.
+
+    Args:
+        topology: The rack fabric.
+        n_trees: Trees enumerated per source.
+        seed: Tie-breaking seed for tree construction (all nodes must agree
+            on it, exactly like they agree on the topology).
+    """
+
+    def __init__(self, topology: Topology, n_trees: int = 4, seed: int = 0) -> None:
+        if n_trees < 1:
+            raise BroadcastError(f"need at least one tree per source, got {n_trees}")
+        self._topology = topology
+        self._n_trees = n_trees
+        self._seed = seed
+        self._trees: Dict[Tuple[NodeId, int], BroadcastTree] = {}
+        # node -> (src, tree_id) -> next hops
+        self._tables: List[Dict[Tuple[NodeId, int], Tuple[NodeId, ...]]] = [
+            {} for _ in range(topology.n_nodes)
+        ]
+        for src in topology.nodes():
+            for tree in build_broadcast_trees(topology, src, n_trees, seed):
+                self._trees[(src, tree.tree_id)] = tree
+                for node in topology.nodes():
+                    children = tree.children(node)
+                    if children:
+                        self._tables[node][(src, tree.tree_id)] = children
+
+    @property
+    def n_trees(self) -> int:
+        """Trees per source."""
+        return self._n_trees
+
+    def tree(self, src: NodeId, tree_id: int) -> BroadcastTree:
+        """The tree object for ``(src, tree_id)``."""
+        try:
+            return self._trees[(src, tree_id)]
+        except KeyError:
+            raise BroadcastError(f"unknown broadcast tree ({src}, {tree_id})") from None
+
+    def trees_for(self, src: NodeId) -> List[BroadcastTree]:
+        """All trees rooted at *src*."""
+        return [self.tree(src, i) for i in range(self._n_trees)]
+
+    def next_hops(
+        self, node: NodeId, src: NodeId, tree_id: int
+    ) -> Tuple[NodeId, ...]:
+        """FIB lookup: where *node* forwards a broadcast from *src* on
+        *tree_id*.  Empty tuple at leaves."""
+        if not (0 <= node < self._topology.n_nodes):
+            raise BroadcastError(f"unknown node {node}")
+        if (src, tree_id) not in self._trees:
+            raise BroadcastError(f"unknown broadcast tree ({src}, {tree_id})")
+        return self._tables[node].get((src, tree_id), ())
+
+    def delivery_order(
+        self, src: NodeId, tree_id: int
+    ) -> List[Tuple[NodeId, NodeId]]:
+        """The (forwarder, receiver) hops of one full broadcast, BFS order.
+
+        Useful for simulators and for byte accounting: the number of entries
+        is exactly the traffic multiplier of one broadcast packet.
+        """
+        tree = self.tree(src, tree_id)
+        order: List[Tuple[NodeId, NodeId]] = []
+        frontier = [src]
+        while frontier:
+            nxt: List[NodeId] = []
+            for node in frontier:
+                for child in tree.children(node):
+                    order.append((node, child))
+                    nxt.append(child)
+            frontier = nxt
+        return order
+
+    def fib_entry_count(self, node: NodeId) -> int:
+        """Number of FIB entries at *node* (memory-footprint checks)."""
+        return len(self._tables[node])

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``      — describe a rack topology (nodes, links, diameter, paths).
+* ``rates``     — start flows on a rack and print their R2C2 allocations.
+* ``simulate``  — run the packet-level simulator on a synthetic workload.
+* ``figure2``   — print the routing-throughput table for a 2D torus.
+* ``claims``    — check the paper's headline numeric claims.
+
+The CLI is a thin veneer over the library; every command maps to a few
+lines of public API (printed with ``--show-code`` for discoverability).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import format_table, throughput_table
+from .topology import (
+    HypercubeTopology,
+    MeshTopology,
+    TorusTopology,
+    count_shortest_paths,
+)
+
+
+def _parse_dims(text: str) -> tuple:
+    try:
+        dims = tuple(int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"dimensions look like 4x4x4, got {text!r}"
+        ) from None
+    if not dims:
+        raise argparse.ArgumentTypeError("need at least one dimension")
+    return dims
+
+
+def _build_topology(kind: str, dims: tuple):
+    if kind == "torus":
+        return TorusTopology(dims)
+    if kind == "mesh":
+        return MeshTopology(dims)
+    if kind == "hypercube":
+        return HypercubeTopology(dims[0])
+    raise argparse.ArgumentTypeError(f"unknown topology {kind!r}")
+
+
+def cmd_info(args) -> int:
+    topo = _build_topology(args.topology, args.dims)
+    print(f"topology:        {topo.name}")
+    print(f"nodes:           {topo.n_nodes}")
+    print(f"directed links:  {topo.n_links}")
+    print(f"degree:          {topo.max_degree()}")
+    print(f"diameter:        {topo.diameter()}")
+    print(f"avg distance:    {topo.average_distance():.2f} hops")
+    if topo.n_nodes >= 2:
+        far = max(topo.nodes(), key=lambda n: topo.distance(0, n))
+        paths = count_shortest_paths(topo, 0, far)
+        print(f"minimal paths 0 -> {far} (a farthest pair): {paths}")
+    from .topology import bisection_bandwidth_bps
+
+    try:
+        print(f"bisection:       {bisection_bandwidth_bps(topo) / 1e12:.2f} Tbps")
+    except Exception:
+        pass
+    return 0
+
+
+def cmd_rates(args) -> int:
+    from .core import R2C2Config, Rack
+    from .types import usec
+
+    topo = _build_topology(args.topology, args.dims)
+    rack = Rack(topo, R2C2Config(headroom=args.headroom))
+    rng_pairs = []
+    import random
+
+    rng = random.Random(args.seed)
+    for _ in range(args.flows):
+        src = rng.randrange(topo.n_nodes)
+        dst = rng.randrange(topo.n_nodes - 1)
+        if dst >= src:
+            dst += 1
+        rng_pairs.append((src, dst))
+        rack.start_flow(src, dst, protocol=args.protocol)
+    rack.advance_time(usec(500))
+    print(f"{args.flows} {args.protocol} flows on {topo.name} "
+          f"(headroom {args.headroom:.0%}):")
+    for flow_id, rate in sorted(rack.rates().items()):
+        src, dst = rng_pairs[flow_id]
+        print(f"  flow {flow_id:3d}  {src:3d} -> {dst:3d}  {rate / 1e9:6.2f} Gbps")
+    allocation = rack.nodes[0].controller.allocation
+    print(f"aggregate: {allocation.aggregate_throughput_bps() / 1e9:.1f} Gbps; "
+          f"max link utilization {allocation.max_link_utilization():.0%}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .sim import SimConfig, run_simulation
+    from .workloads import ParetoSizes, poisson_trace
+
+    topo = _build_topology(args.topology, args.dims)
+    trace = poisson_trace(
+        topo,
+        args.flows,
+        args.interarrival_ns,
+        sizes=ParetoSizes(mean_bytes=args.mean_bytes, shape=1.05, cap_bytes=20_000_000),
+        seed=args.seed,
+    )
+    metrics = run_simulation(
+        topo,
+        trace,
+        SimConfig(stack=args.stack, reliable=args.reliable, seed=args.seed),
+    )
+    print(f"stack={args.stack} on {topo.name}: "
+          f"{len(trace)} flows, {metrics.duration_ns / 1e6:.2f} ms simulated, "
+          f"{metrics.wallclock_s:.1f} s wall")
+    for key, value in metrics.summary().items():
+        print(f"  {key:20s} {value:,.2f}")
+    return 0
+
+
+def cmd_figure2(args) -> int:
+    from .routing import (
+        DestinationTagRouting,
+        RandomPacketSpraying,
+        ValiantLoadBalancing,
+        WeightedLoadBalancing,
+    )
+    from .workloads import STANDARD_PATTERNS
+
+    topo = TorusTopology((args.radix, args.radix))
+    protocols = [
+        RandomPacketSpraying(topo),
+        DestinationTagRouting(topo),
+        ValiantLoadBalancing(topo),
+        WeightedLoadBalancing(topo),
+    ]
+    patterns = [
+        STANDARD_PATTERNS[name]
+        for name in ("nearest-neighbor", "uniform", "bit-complement", "transpose", "tornado")
+    ]
+    table = throughput_table(protocols, patterns, include_worst_case=args.worst_case)
+    rows = {
+        pattern: [values[p.name] for p in protocols]
+        for pattern, values in table.items()
+    }
+    print(
+        format_table(
+            f"Saturation throughput on the {args.radix}-ary 2-cube",
+            [p.name for p in protocols],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_claims(args) -> int:
+    from .broadcast import broadcast_bytes_total, flow_event_overhead
+    from .topology import TorusTopology as _Torus
+
+    checks = []
+    torus = _Torus((8, 8, 8))
+    checks.append(
+        ("1,680 minimal paths for a (3,3,3) displacement",
+         count_shortest_paths(torus, 0, torus.node_at((3, 3, 3))) == 1680)
+    )
+    checks.append(
+        ("one 512-node broadcast is ~8 KB",
+         abs(broadcast_bytes_total(512) - 8176) < 1)
+    )
+    checks.append(
+        ("announcing a 10 KB flow costs ~26.66%",
+         abs(flow_event_overhead(10 * 1024, 512, 6.0) - 0.2666) < 0.01)
+    )
+    ok = True
+    for label, passed in checks:
+        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
+        ok &= passed
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="R2C2: a network stack for rack-scale computers (SIGCOMM 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_topology_args(p):
+        p.add_argument("--topology", choices=("torus", "mesh", "hypercube"), default="torus")
+        p.add_argument("--dims", type=_parse_dims, default=(4, 4, 4),
+                       help="dimensions, e.g. 4x4x4 (hypercube: number of bits, e.g. 6)")
+
+    p_info = sub.add_parser("info", help="describe a rack topology")
+    add_topology_args(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_rates = sub.add_parser("rates", help="allocate rates for random flows")
+    add_topology_args(p_rates)
+    p_rates.add_argument("--flows", type=int, default=8)
+    p_rates.add_argument("--protocol", default="rps")
+    p_rates.add_argument("--headroom", type=float, default=0.05)
+    p_rates.add_argument("--seed", type=int, default=0)
+    p_rates.set_defaults(func=cmd_rates)
+
+    p_sim = sub.add_parser("simulate", help="run the packet-level simulator")
+    add_topology_args(p_sim)
+    p_sim.add_argument("--stack", choices=("r2c2", "tcp", "pfq"), default="r2c2")
+    p_sim.add_argument("--flows", type=int, default=200)
+    p_sim.add_argument("--interarrival-ns", type=int, default=5000)
+    p_sim.add_argument("--mean-bytes", type=int, default=100 * 1024)
+    p_sim.add_argument("--reliable", action="store_true")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_fig2 = sub.add_parser("figure2", help="print the Figure 2 routing table")
+    p_fig2.add_argument("--radix", type=int, default=8)
+    p_fig2.add_argument("--worst-case", action="store_true",
+                        help="include the (slower) worst-case row")
+    p_fig2.set_defaults(func=cmd_figure2)
+
+    p_claims = sub.add_parser("claims", help="verify headline paper claims")
+    p_claims.set_defaults(func=cmd_claims)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,298 @@
+"""The per-node rate controller: batching, headroom and young-flow policy.
+
+This is the control loop of §3.3.2's "periodic rate computation": flow
+events mutate the node's :class:`~repro.congestion.flowstate.FlowTable`
+immediately (they arrive by broadcast), but rates are only recomputed every
+``recompute_interval_ns`` (ρ, 500 µs in the paper's experiments).
+
+Flows younger than one interval are deliberately *not* rate-limited — the
+paper argues batching "naturally filters out very short-lived flows, which
+would be pointless to rate-limit" and sizes the 5 % headroom to absorb them.
+Until its first epoch a young flow is capped only at the configured initial
+rate (one link's line rate by default).
+
+The controller also records the wall-clock cost of every recomputation,
+which is the quantity Figure 8 reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import CongestionControlError
+from ..topology.base import Topology
+from ..types import FlowId, NodeId, usec
+from .flowstate import FlowSpec, FlowTable
+from .linkweights import WeightProvider
+from .waterfill import RateAllocation, waterfill
+
+
+@dataclass
+class ControllerConfig:
+    """Tunables of the rate controller.
+
+    Attributes:
+        headroom: Link-capacity fraction withheld from allocation (§3.3.2);
+            the paper uses 5 %.
+        recompute_interval_ns: Batch recomputation period ρ; 500 µs default.
+        exempt_young_flows: Whether flows that have not yet seen an epoch
+            boundary ride the headroom uncapped (paper behaviour).  When
+            False every flow start triggers an immediate recomputation
+            (the §3.3.1 strawman).
+        initial_rate_policy: Rate granted to young flows (flows that have
+            not yet been covered by an epoch).  The paper's §3.1 narrative
+            is that "the sender computes the flow's fair allocation and
+            rate limits it accordingly" at flow start, while §3.3.2 batches
+            *re*-computation; the policies trade fidelity for cost:
+
+            * ``"local_waterfill"`` (default, the §3.1 reading): the sender
+              runs one water-fill when its own flow starts and pins the new
+              flow's rate from it; everyone else's rates update at epochs.
+            * ``"mean_allocated"``: cheap estimate — the mean rate of the
+              last allocation, capped at one link's line rate.
+            * ``"line_rate"``: blast at one link's capacity and let the
+              headroom absorb it (the most literal batching-only reading).
+        initial_rate_bps: Explicit override for the young-flow rate; when
+            set, it wins over the policy.
+    """
+
+    headroom: float = 0.05
+    recompute_interval_ns: int = usec(500)
+    exempt_young_flows: bool = True
+    initial_rate_policy: str = "local_waterfill"
+    initial_rate_bps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.recompute_interval_ns < 0:
+            raise CongestionControlError(
+                f"recompute interval must be >= 0, got {self.recompute_interval_ns}"
+            )
+        if self.initial_rate_policy not in (
+            "local_waterfill",
+            "mean_allocated",
+            "line_rate",
+        ):
+            raise CongestionControlError(
+                f"unknown initial_rate_policy {self.initial_rate_policy!r}"
+            )
+
+
+@dataclass
+class RecomputeStats:
+    """Wall-clock accounting of one rate recomputation (Figure 8)."""
+
+    at_ns: int
+    n_flows: int
+    duration_ns: int
+    interval_ns: int
+
+    @property
+    def cpu_overhead(self) -> float:
+        """Fraction of the interval spent recomputing; > 1 is infeasible."""
+        if self.interval_ns <= 0:
+            return float("inf") if self.duration_ns else 0.0
+        return self.duration_ns / self.interval_ns
+
+
+class RateController:
+    """One node's congestion-control brain.
+
+    The controller is deliberately independent of the simulator: the
+    simulator, the Maze emulator and the plain library API all drive the
+    same object, which is what makes the Figure 7 cross-validation a check
+    of two data planes rather than two control planes.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        node: NodeId,
+        provider: Optional[WeightProvider] = None,
+        config: Optional[ControllerConfig] = None,
+        allocation_cache: Optional[Dict] = None,
+    ) -> None:
+        self._topology = topology
+        self._node = node
+        self._provider = provider if provider is not None else WeightProvider(topology)
+        self._config = config or ControllerConfig()
+        # Optional cross-controller memo: rack nodes with identical tables
+        # compute identical allocations, so simulations running one
+        # controller per node share this dict (keyed by table contents) and
+        # pay for each distinct water-fill once.
+        self._allocation_cache = allocation_cache
+        self._table = FlowTable()
+        self._allocation: Optional[RateAllocation] = None
+        self._allocated_generation = -1
+        self._known_at_last_epoch: set = set()
+        #: rates pinned by sender-local computation at flow start
+        #: (the "local_waterfill" policy); cleared at every epoch.
+        self._young_rates: Dict[FlowId, float] = {}
+        self._next_epoch_ns = self._config.recompute_interval_ns
+        self._stats: List[RecomputeStats] = []
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def node(self) -> NodeId:
+        """The node this controller runs on."""
+        return self._node
+
+    @property
+    def config(self) -> ControllerConfig:
+        """The controller's configuration."""
+        return self._config
+
+    @property
+    def table(self) -> FlowTable:
+        """The node's view of the rack traffic matrix."""
+        return self._table
+
+    @property
+    def provider(self) -> WeightProvider:
+        """The shared link-weight cache."""
+        return self._provider
+
+    @property
+    def allocation(self) -> Optional[RateAllocation]:
+        """The most recent allocation, or ``None`` before the first epoch."""
+        return self._allocation
+
+    @property
+    def stats(self) -> List[RecomputeStats]:
+        """Per-recomputation wall-clock statistics."""
+        return self._stats
+
+    def initial_rate_bps(self) -> float:
+        """The rate cap granted to flows before their first epoch."""
+        if self._config.initial_rate_bps is not None:
+            return self._config.initial_rate_bps
+        capacity = self._topology.capacity_bps
+        if (
+            self._config.initial_rate_policy == "mean_allocated"
+            and self._allocation is not None
+            and self._allocation.rates_bps
+        ):
+            rates = self._allocation.rates_bps.values()
+            return min(capacity, sum(rates) / len(rates))
+        return capacity
+
+    # ------------------------------------------------------------------
+    # Control-plane events (driven by broadcast receipt or local flows)
+    # ------------------------------------------------------------------
+    def on_flow_started(self, spec: FlowSpec, now_ns: int = 0) -> None:
+        """Record a flow start (local or learned by broadcast)."""
+        self._table.add(spec)
+        if not self._config.exempt_young_flows:
+            self.recompute(now_ns)
+        elif self._config.initial_rate_policy == "local_waterfill":
+            # §3.1: the sender computes the new flow's fair allocation right
+            # away; the batched epoch will true everything up later.
+            allocation = self._cached_waterfill(self._table.snapshot())
+            self._young_rates[spec.flow_id] = allocation.rates_bps[spec.flow_id]
+
+    def on_flow_finished(self, flow_id: FlowId, now_ns: int = 0) -> None:
+        """Record a flow finish."""
+        self._table.remove(flow_id)
+        self._young_rates.pop(flow_id, None)
+        if not self._config.exempt_young_flows:
+            self.recompute(now_ns)
+
+    def on_demand_update(self, flow_id: FlowId, demand_bps: float) -> None:
+        """Record a demand-update broadcast."""
+        self._table.update_demand(flow_id, demand_bps)
+
+    def on_protocol_update(self, flow_id: FlowId, protocol: str) -> None:
+        """Record a routing-reassignment broadcast (§3.4)."""
+        self._table.update_protocol(flow_id, protocol)
+
+    # ------------------------------------------------------------------
+    # Rate computation
+    # ------------------------------------------------------------------
+    def next_epoch_ns(self) -> int:
+        """Absolute time of the next scheduled recomputation."""
+        return self._next_epoch_ns
+
+    def maybe_recompute(self, now_ns: int) -> Optional[RateAllocation]:
+        """Run the periodic recomputation if an epoch boundary passed."""
+        if now_ns < self._next_epoch_ns:
+            return None
+        interval = max(self._config.recompute_interval_ns, 1)
+        # Skip ahead over idle epochs instead of looping through them.
+        missed = (now_ns - self._next_epoch_ns) // interval + 1
+        self._next_epoch_ns += missed * interval
+        return self.recompute(now_ns)
+
+    def recompute(self, now_ns: int) -> RateAllocation:
+        """Water-fill over the node's current view; records wall-clock cost."""
+        flows = self._table.snapshot()
+        started = time.perf_counter_ns()
+        allocation = self._cached_waterfill(flows)
+        duration = time.perf_counter_ns() - started
+        self._allocation = allocation
+        self._allocated_generation = self._table.generation
+        self._known_at_last_epoch = {spec.flow_id for spec in flows}
+        self._young_rates.clear()
+        self._stats.append(
+            RecomputeStats(
+                at_ns=now_ns,
+                n_flows=len(flows),
+                duration_ns=duration,
+                interval_ns=self._config.recompute_interval_ns,
+            )
+        )
+        return allocation
+
+    def _cached_waterfill(self, flows) -> RateAllocation:
+        """Water-fill with optional cross-controller memoization."""
+        if self._allocation_cache is None:
+            return waterfill(
+                self._topology, flows, self._provider, headroom=self._config.headroom
+            )
+        key = (
+            self._config.headroom,
+            tuple(
+                (s.flow_id, s.src, s.dst, s.protocol, s.weight, s.priority, s.demand_bps)
+                for s in flows
+            ),
+        )
+        allocation = self._allocation_cache.get(key)
+        if allocation is None:
+            allocation = waterfill(
+                self._topology, flows, self._provider, headroom=self._config.headroom
+            )
+            # Bound the memo; evict oldest entries FIFO.
+            if len(self._allocation_cache) >= 4096:
+                self._allocation_cache.pop(next(iter(self._allocation_cache)))
+            self._allocation_cache[key] = allocation
+        return allocation
+
+    def rate_for(self, flow_id: FlowId) -> float:
+        """The sending rate currently enforced for *flow_id*.
+
+        Young flows (not yet covered by an epoch) get the initial rate; all
+        others get their allocated share, additionally clipped at their
+        announced demand.
+        """
+        spec = self._table.get(flow_id)
+        if spec is None:
+            raise CongestionControlError(f"unknown flow {flow_id}")
+        if (
+            self._allocation is None
+            or flow_id not in self._known_at_last_epoch
+            or flow_id not in self._allocation.rates_bps
+        ):
+            pinned = self._young_rates.get(flow_id)
+            if pinned is not None:
+                return min(pinned, spec.demand_bps)
+            return min(self.initial_rate_bps(), spec.demand_bps)
+        return min(self._allocation.rates_bps[flow_id], spec.demand_bps)
+
+    def local_rates(self) -> Dict[FlowId, float]:
+        """Rates for the flows this node itself is sending."""
+        return {
+            spec.flow_id: self.rate_for(spec.flow_id)
+            for spec in self._table.flows_from(self._node)
+        }

@@ -1,0 +1,147 @@
+"""Flow descriptions and the per-node flow table.
+
+Every rack node learns about all active flows from broadcast packets (§3.1)
+and stores them in a :class:`FlowTable` — its local view of the global
+traffic matrix.  A :class:`FlowSpec` carries exactly the fields the 16-byte
+broadcast packet announces: endpoints, allocation weight, priority, demand
+and the routing protocol in use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import CongestionControlError
+from ..types import FlowId, NodeId
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """Control-plane description of one flow.
+
+    Attributes:
+        flow_id: Rack-unique flow identifier.
+        src: Sending node.
+        dst: Receiving node.
+        protocol: Registered routing-protocol name (``"rps"``, ``"vlb"``...).
+        weight: Allocation weight; rates on a shared bottleneck are split in
+            proportion to it (§3.3.2, "Beyond per-flow fairness").
+        priority: Allocation priority; **lower numbers allocate first** and
+            each priority level only receives capacity left over by the
+            levels before it.
+        demand_bps: Estimated maximum rate the flow can actually use
+            (host-limited flows, §3.3.2); ``inf`` means network-limited.
+        start_time_ns: When the flow started, used by the batching logic to
+            exempt very young flows from rate-limiting.
+        tenant: Optional tenant tag consumed by allocation policies.
+    """
+
+    flow_id: FlowId
+    src: NodeId
+    dst: NodeId
+    protocol: str = "rps"
+    weight: float = 1.0
+    priority: int = 0
+    demand_bps: float = math.inf
+    start_time_ns: int = 0
+    tenant: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise CongestionControlError(
+                f"flow {self.flow_id}: weight must be positive, got {self.weight}"
+            )
+        if self.priority < 0:
+            raise CongestionControlError(
+                f"flow {self.flow_id}: priority must be >= 0, got {self.priority}"
+            )
+        if self.demand_bps <= 0:
+            raise CongestionControlError(
+                f"flow {self.flow_id}: demand must be positive, got {self.demand_bps}"
+            )
+
+    def with_demand(self, demand_bps: float) -> "FlowSpec":
+        """Copy of this spec with an updated demand estimate."""
+        return replace(self, demand_bps=demand_bps)
+
+    def with_protocol(self, protocol: str) -> "FlowSpec":
+        """Copy of this spec routed by a different protocol (§3.4)."""
+        return replace(self, protocol=protocol)
+
+
+class FlowTable:
+    """A node's view of all active flows in the rack.
+
+    Mutations bump a generation counter so consumers (the rate controller)
+    can cheaply detect whether anything changed since their last computation.
+    """
+
+    def __init__(self) -> None:
+        self._flows: Dict[FlowId, FlowSpec] = {}
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter, incremented on every mutation."""
+        return self._generation
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __contains__(self, flow_id: FlowId) -> bool:
+        return flow_id in self._flows
+
+    def __iter__(self) -> Iterator[FlowSpec]:
+        return iter(self._flows.values())
+
+    def get(self, flow_id: FlowId) -> Optional[FlowSpec]:
+        """The spec for *flow_id*, or ``None`` if unknown."""
+        return self._flows.get(flow_id)
+
+    def add(self, spec: FlowSpec) -> None:
+        """Record a flow-start announcement.
+
+        Re-announcements (e.g. after a failure triggers a re-broadcast of all
+        ongoing flows, §3.2) simply overwrite the stored spec.
+        """
+        self._flows[spec.flow_id] = spec
+        self._generation += 1
+
+    def remove(self, flow_id: FlowId) -> bool:
+        """Record a flow-finish announcement; returns False if unknown.
+
+        Unknown ids are tolerated because finish broadcasts can outrace the
+        corresponding start broadcast along a different tree.
+        """
+        if self._flows.pop(flow_id, None) is None:
+            return False
+        self._generation += 1
+        return True
+
+    def update_demand(self, flow_id: FlowId, demand_bps: float) -> bool:
+        """Apply a demand-update broadcast; returns False if unknown."""
+        spec = self._flows.get(flow_id)
+        if spec is None:
+            return False
+        self._flows[flow_id] = spec.with_demand(demand_bps)
+        self._generation += 1
+        return True
+
+    def update_protocol(self, flow_id: FlowId, protocol: str) -> bool:
+        """Apply a routing-reassignment broadcast; returns False if unknown."""
+        spec = self._flows.get(flow_id)
+        if spec is None:
+            return False
+        self._flows[flow_id] = spec.with_protocol(protocol)
+        self._generation += 1
+        return True
+
+    def flows_from(self, node: NodeId) -> List[FlowSpec]:
+        """All flows whose sender is *node* (the ones the node rate-limits)."""
+        return [spec for spec in self._flows.values() if spec.src == node]
+
+    def snapshot(self) -> List[FlowSpec]:
+        """Stable list of all active flows, ordered by flow id."""
+        return [self._flows[fid] for fid in sorted(self._flows)]

@@ -1,0 +1,90 @@
+"""Assembling per-flow link-weight vectors for the allocator.
+
+The paper pre-computes, on each node, "the list of link weights for each
+{routing protocol, destination} pair" (§4.2).  :class:`WeightProvider` plays
+that role: it owns one instance of each routing protocol bound to the
+topology and memoizes the sparse weight vector of every (protocol, src, dst)
+triple it is asked for.  ECMP weights additionally depend on the flow id
+(the hash picks the path), which the cache key accounts for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..routing.base import RoutingProtocol, make_protocol
+from ..topology.base import Topology
+from .flowstate import FlowSpec
+
+#: A sparse weight vector: (link ids, fractions), parallel arrays.
+SparseWeights = Tuple[np.ndarray, np.ndarray]
+
+
+class WeightProvider:
+    """Memoized link-weight vectors per flow.
+
+    Args:
+        topology: The rack fabric.
+        protocols: Optional pre-built protocol instances to reuse (keyed by
+            registered name); missing ones are instantiated on demand.
+    """
+
+    def __init__(self, topology: Topology, protocols: Dict[str, RoutingProtocol] = None) -> None:
+        self._topology = topology
+        self._protocols: Dict[str, RoutingProtocol] = dict(protocols or {})
+        self._cache: Dict[tuple, SparseWeights] = {}
+
+    @property
+    def topology(self) -> Topology:
+        """The topology weights are computed on."""
+        return self._topology
+
+    def protocol(self, name: str) -> RoutingProtocol:
+        """The shared protocol instance for *name* (created lazily)."""
+        instance = self._protocols.get(name)
+        if instance is None:
+            instance = make_protocol(name, self._topology)
+            self._protocols[name] = instance
+        return instance
+
+    def weights_for(self, spec: FlowSpec) -> SparseWeights:
+        """Sparse link-weight vector for one flow."""
+        protocol = self.protocol(spec.protocol)
+        flow_key = spec.flow_id if _weights_depend_on_flow_id(protocol) else 0
+        key = (spec.protocol, spec.src, spec.dst, flow_key)
+        cached = self._cache.get(key)
+        if cached is None:
+            weights = protocol.link_weights(spec.src, spec.dst, flow_id=spec.flow_id)
+            if weights:
+                items = sorted(weights.items())
+                idx = np.fromiter((i for i, _ in items), dtype=np.int64, count=len(items))
+                val = np.fromiter((v for _, v in items), dtype=np.float64, count=len(items))
+            else:
+                idx = np.empty(0, dtype=np.int64)
+                val = np.empty(0, dtype=np.float64)
+            cached = (idx, val)
+            self._cache[key] = cached
+        return cached
+
+    def cache_size(self) -> int:
+        """Number of memoized weight vectors (for memory-footprint checks)."""
+        return len(self._cache)
+
+    def memory_footprint_bytes(self) -> int:
+        """Approximate bytes held by cached vectors.
+
+        Mirrors the paper's §4.2 memory estimate (< 6 MB per protocol for a
+        512-node rack).
+        """
+        total = 0
+        for idx, val in self._cache.values():
+            total += idx.nbytes + val.nbytes
+        return total
+
+
+def _weights_depend_on_flow_id(protocol: RoutingProtocol) -> bool:
+    # Only ECMP-style protocols hash the flow id into the route; detect via
+    # a marker attribute so third-party protocols can opt in.
+    return getattr(protocol, "per_flow_paths", protocol.name == "ecmp")

@@ -1,0 +1,307 @@
+"""Weighted max-min water-filling over routing-protocol-dictated splits.
+
+This is R2C2's rate-computation algorithm (§3.3.1): every flow's relative
+rate across its paths is fixed by its routing protocol, so allocation reduces
+to a *flow-level* weighted water-fill:
+
+1. all unfrozen flows grow their rate in proportion to their allocation
+   weight;
+2. when a link saturates, every flow crossing it freezes at its current
+   rate;
+3. repeat until all flows are frozen.
+
+Extensions from §3.3.2 are folded in: bandwidth *headroom* is subtracted
+from every link capacity before allocation, host-limited flows freeze early
+at their *demand*, and *priorities* are handled by running the fill once per
+priority level on the capacity left over by more important levels.
+
+The implementation is vectorized: flows are rows of a sparse weight matrix,
+links are columns, and each iteration does O(E) numpy work plus O(nnz of
+newly frozen rows) bookkeeping, for an overall O(N·L + nnz) bound matching
+the paper's O(N·L + N^2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CongestionControlError
+from ..topology.base import Topology
+from ..types import FlowId, LinkId
+from .flowstate import FlowSpec
+from .linkweights import WeightProvider
+
+#: Relative tolerance for deciding that a link is saturated.
+_REL_TOL = 1e-9
+
+
+@dataclass
+class RateAllocation:
+    """Result of one water-filling run.
+
+    Attributes:
+        rates_bps: Allocated rate per flow id.
+        bottleneck_link: The link that froze each flow, or ``None`` when the
+            flow froze at its demand (host-limited) or uses no links.
+        link_load_bps: Aggregate allocated load per link id.
+        link_capacity_bps: The (headroom-adjusted) capacity the fill used.
+        iterations: Number of freeze rounds executed (all priority levels).
+    """
+
+    rates_bps: Dict[FlowId, float]
+    bottleneck_link: Dict[FlowId, Optional[LinkId]]
+    link_load_bps: np.ndarray
+    link_capacity_bps: np.ndarray
+    iterations: int = 0
+
+    def rate(self, flow_id: FlowId) -> float:
+        """Rate of one flow in bits/s."""
+        return self.rates_bps[flow_id]
+
+    def aggregate_throughput_bps(self) -> float:
+        """Sum of all flow rates — the utility metric of §3.4's examples."""
+        return float(sum(self.rates_bps.values()))
+
+    def min_rate_bps(self) -> float:
+        """Lowest allocated rate (tail throughput utility)."""
+        return min(self.rates_bps.values()) if self.rates_bps else 0.0
+
+    def max_link_utilization(self) -> float:
+        """Highest link load divided by adjusted capacity."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(
+                self.link_capacity_bps > 0,
+                self.link_load_bps / self.link_capacity_bps,
+                0.0,
+            )
+        return float(util.max()) if util.size else 0.0
+
+
+def effective_capacities(
+    topology: Topology, headroom: float, capacities: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Per-link capacities with the congestion-control headroom removed.
+
+    The headroom is applied at the control plane only (§3.3.2): the data
+    plane still runs links at full rate; the allocator simply never hands
+    out the last ``headroom`` fraction.
+    """
+    if not (0.0 <= headroom < 1.0):
+        raise CongestionControlError(f"headroom must be in [0, 1), got {headroom}")
+    if capacities is None:
+        capacities = np.fromiter(
+            (link.capacity_bps for link in topology.links),
+            dtype=np.float64,
+            count=topology.n_links,
+        )
+    else:
+        capacities = np.asarray(capacities, dtype=np.float64).copy()
+        if capacities.shape != (topology.n_links,):
+            raise CongestionControlError(
+                f"capacities must have one entry per link ({topology.n_links}), "
+                f"got shape {capacities.shape}"
+            )
+    return capacities * (1.0 - headroom)
+
+
+def waterfill(
+    topology: Topology,
+    flows: Sequence[FlowSpec],
+    provider: WeightProvider,
+    headroom: float = 0.0,
+    capacities: Optional[np.ndarray] = None,
+) -> RateAllocation:
+    """Compute weighted max-min rates for *flows* (§3.3).
+
+    Args:
+        topology: The rack fabric.
+        flows: Active flows; each is allocated exactly one rate that applies
+            across all of its paths.
+        provider: Link-weight vectors per flow.
+        headroom: Fraction of every link reserved for not-yet-announced
+            flows (5 % in the paper's experiments).
+        capacities: Optional per-link capacity override (bits/s), e.g. for
+            modelling degraded links.
+
+    Returns:
+        A :class:`RateAllocation`.
+    """
+    n_links = topology.n_links
+    cap = effective_capacities(topology, headroom, capacities)
+
+    rates: Dict[FlowId, float] = {}
+    bottleneck: Dict[FlowId, Optional[LinkId]] = {}
+    load = np.zeros(n_links, dtype=np.float64)
+    iterations = 0
+
+    by_priority: Dict[int, List[FlowSpec]] = {}
+    for spec in flows:
+        if spec.flow_id in rates:
+            raise CongestionControlError(f"duplicate flow id {spec.flow_id}")
+        rates[spec.flow_id] = 0.0  # reserve the slot; filled per level
+        by_priority.setdefault(spec.priority, []).append(spec)
+
+    for priority in sorted(by_priority):
+        level_flows = by_priority[priority]
+        residual = np.maximum(cap - load, 0.0)
+        iterations += _fill_one_level(
+            topology, level_flows, provider, residual, load, rates, bottleneck
+        )
+
+    return RateAllocation(
+        rates_bps=rates,
+        bottleneck_link=bottleneck,
+        link_load_bps=load,
+        link_capacity_bps=cap,
+        iterations=iterations,
+    )
+
+
+def _fill_one_level(
+    topology: Topology,
+    flows: List[FlowSpec],
+    provider: WeightProvider,
+    residual: np.ndarray,
+    load: np.ndarray,
+    rates: Dict[FlowId, float],
+    bottleneck: Dict[FlowId, Optional[LinkId]],
+) -> int:
+    """Water-fill one priority level onto *residual* capacity.
+
+    Mutates ``load``, ``rates`` and ``bottleneck`` in place; returns the
+    number of freeze rounds.
+    """
+    n_links = residual.size
+    n_flows = len(flows)
+    if n_flows == 0:
+        return 0
+
+    # Gather sparse weight rows once.  ``contrib[f]`` are the per-link
+    # coefficients phi_f * w_{f,l}: the load flow f puts on each link per
+    # unit of fill level t (its rate being phi_f * t).
+    idx_rows: List[np.ndarray] = []
+    contrib_rows: List[np.ndarray] = []
+    phi = np.empty(n_flows, dtype=np.float64)
+    demand_level = np.empty(n_flows, dtype=np.float64)  # t at which demand binds
+    for i, spec in enumerate(flows):
+        idx, val = provider.weights_for(spec)
+        idx_rows.append(idx)
+        contrib_rows.append(val * spec.weight)
+        phi[i] = spec.weight
+        demand_level[i] = (
+            spec.demand_bps / spec.weight if math.isfinite(spec.demand_bps) else math.inf
+        )
+
+    # Sum of unfrozen contributions per link.
+    denom = np.zeros(n_links, dtype=np.float64)
+    for idx, contrib in zip(idx_rows, contrib_rows):
+        np.add.at(denom, idx, contrib)
+
+    unfrozen = np.ones(n_flows, dtype=bool)
+    # Flows that touch no links (src == dst) are only demand- or
+    # capacity-bound; freeze them immediately.
+    for i, spec in enumerate(flows):
+        if idx_rows[i].size == 0:
+            cap_bound = topology.capacity_bps
+            rates[spec.flow_id] = min(spec.demand_bps, cap_bound)
+            bottleneck[spec.flow_id] = None
+            unfrozen[i] = False
+
+    # Links-to-flows reverse index, for finding who a saturated link freezes,
+    # plus an exact count of unfrozen flows per link: floating-point dust
+    # left by incremental subtraction must not make an all-frozen link look
+    # like a (tiny) bottleneck.
+    flows_on_link: List[List[int]] = [[] for _ in range(n_links)]
+    live_count = np.zeros(n_links, dtype=np.int64)
+    for i, idx in enumerate(idx_rows):
+        if unfrozen[i]:
+            for link in idx:
+                flows_on_link[link].append(i)
+            if idx.size:
+                np.add.at(live_count, idx, 1)
+
+    level = 0.0  # current fill level t
+    slack = residual.astype(np.float64).copy()
+    rounds = 0
+
+    while unfrozen.any():
+        rounds += 1
+        # Fill level at which each link saturates.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_link = np.where(denom > 0, slack / np.where(denom > 0, denom, 1.0), np.inf)
+        t_sat = level + np.maximum(t_link, 0.0)
+
+        # Fill level at which each unfrozen flow's demand binds.
+        live = np.where(unfrozen)[0]
+        t_demand = demand_level[live]
+        t_star = min(float(t_sat.min(initial=math.inf)), float(t_demand.min(initial=math.inf)))
+
+        if math.isinf(t_star):
+            # No capacity constraint and no finite demand: flows are
+            # unconstrained, which only happens with zero-weight links —
+            # treat as a configuration error rather than allocating infinity.
+            raise CongestionControlError(
+                "water-fill diverged: unfrozen flows with no binding constraint"
+            )
+
+        tol = _REL_TOL * max(1.0, abs(t_star))
+        newly_frozen: List[int] = []
+        frozen_now = set()
+
+        # Demand-frozen flows.
+        for i in live:
+            if demand_level[i] <= t_star + tol:
+                spec = flows[i]
+                rates[spec.flow_id] = spec.demand_bps
+                bottleneck[spec.flow_id] = None
+                newly_frozen.append(i)
+                frozen_now.add(i)
+
+        # Capacity-frozen flows: everyone crossing a link saturating at t*.
+        saturated_links = np.where(t_sat <= t_star + tol)[0]
+        for link in saturated_links:
+            for i in flows_on_link[link]:
+                if unfrozen[i] and i not in frozen_now:
+                    spec = flows[i]
+                    rates[spec.flow_id] = phi[i] * t_star
+                    bottleneck[spec.flow_id] = int(link)
+                    newly_frozen.append(i)
+                    frozen_now.add(i)
+
+        if not newly_frozen:
+            raise CongestionControlError("water-fill made no progress")
+
+        # Advance the water level and retire frozen flows.
+        delta = t_star - level
+        if delta > 0:
+            slack -= denom * delta
+            np.maximum(slack, 0.0, out=slack)
+            level = t_star
+        for i in newly_frozen:
+            unfrozen[i] = False
+            idx, contrib = idx_rows[i], contrib_rows[i]
+            if idx.size:
+                np.subtract.at(denom, idx, contrib)
+                np.subtract.at(live_count, idx, 1)
+                # A frozen flow keeps consuming its allocation, but if it
+                # froze below the water level (demand-limited), the unused
+                # share returns to the pool.
+                spec = flows[i]
+                actual = rates[spec.flow_id]
+                implied = phi[i] * level
+                if actual < implied - tol:
+                    refund = (implied - actual) / phi[i]
+                    slack += contrib * refund
+        np.maximum(denom, 0.0, out=denom)
+        denom[live_count <= 0] = 0.0
+
+    # Commit this level's loads.
+    for i, spec in enumerate(flows):
+        idx, val = provider.weights_for(spec)
+        if idx.size:
+            np.add.at(load, idx, val * rates[spec.flow_id])
+    return rounds

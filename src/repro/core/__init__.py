@@ -1,0 +1,7 @@
+"""The assembled R2C2 stack: per-node control plane and the rack facade."""
+
+from .config import R2C2Config
+from .node import R2C2Node
+from .rack import Rack
+
+__all__ = ["R2C2Config", "R2C2Node", "Rack"]

@@ -1,0 +1,49 @@
+"""Top-level R2C2 configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from ..congestion.controller import ControllerConfig
+from ..errors import ReproError
+from ..types import usec
+
+
+@dataclass
+class R2C2Config:
+    """Everything a rack deployment of R2C2 needs to agree on.
+
+    All nodes must share this configuration (like they share the topology):
+    broadcast trees, headroom and epochs are rack-wide invariants.
+    """
+
+    #: Link-capacity fraction withheld from allocation (paper: 5 %).
+    headroom: float = 0.05
+    #: Rate-recomputation interval ρ (paper sweet spot: 500 µs - 1 ms).
+    recompute_interval_ns: int = usec(500)
+    #: Broadcast trees enumerated per source node.
+    n_broadcast_trees: int = 4
+    #: Seed for deterministic tree construction (rack-wide).
+    broadcast_seed: int = 0
+    #: Protocol a new flow starts with (§3.4: "new flows start with minimal
+    #: routing").
+    default_protocol: str = "rps"
+    #: Candidate protocols the routing-selection process may assign.
+    selection_protocols: Tuple[str, ...] = ("rps", "vlb")
+    #: Young-flow rate policy (see ControllerConfig).
+    initial_rate_policy: str = "mean_allocated"
+
+    def __post_init__(self) -> None:
+        if self.n_broadcast_trees < 1:
+            raise ReproError("n_broadcast_trees must be >= 1")
+        if not self.selection_protocols:
+            raise ReproError("selection_protocols must not be empty")
+
+    def controller_config(self) -> ControllerConfig:
+        """The per-node controller configuration implied by this config."""
+        return ControllerConfig(
+            headroom=self.headroom,
+            recompute_interval_ns=self.recompute_interval_ns,
+            initial_rate_policy=self.initial_rate_policy,
+        )

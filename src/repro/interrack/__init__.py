@@ -1,0 +1,41 @@
+"""Inter-rack networking — the paper's §6 future-work direction, built out.
+
+Two designs from the paper's discussion:
+
+* direct rack-to-rack gateway cables (:class:`MultiRackFabric`,
+  :func:`ring_of_racks`) with :class:`HierarchicalRouting` over them;
+* an aggregation switch with R2C2-in-Ethernet tunneling
+  (:func:`switched_multirack`, :mod:`repro.interrack.tunnel`).
+
+Because a :class:`MultiRackFabric` *is* a
+:class:`~repro.topology.base.Topology`, the whole stack — water-filling,
+broadcast trees, the packet simulator — runs across racks unchanged.
+"""
+
+from .routing import HierarchicalRouting
+from .topology import MultiRackFabric, ring_of_racks, switched_multirack
+from .tunnel import (
+    ETHERNET_MTU,
+    ETHERNET_OVERHEAD_BYTES,
+    ETHERTYPE_R2C2,
+    EthernetFrame,
+    mac_for,
+    tunnel_overhead_fraction,
+    tunnel_packet,
+    untunnel_packet,
+)
+
+__all__ = [
+    "ETHERNET_MTU",
+    "ETHERNET_OVERHEAD_BYTES",
+    "ETHERTYPE_R2C2",
+    "EthernetFrame",
+    "HierarchicalRouting",
+    "MultiRackFabric",
+    "mac_for",
+    "ring_of_racks",
+    "switched_multirack",
+    "tunnel_overhead_fraction",
+    "tunnel_packet",
+    "untunnel_packet",
+]

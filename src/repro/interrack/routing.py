@@ -1,0 +1,166 @@
+"""Hierarchical routing across racks (paper §6).
+
+A :class:`HierarchicalRouting` protocol routes inter-rack flows in three
+segments — source rack to an egress gateway, across the gateway cable(s),
+ingress gateway to the destination — and delegates intra-rack flows to a
+plain intra-rack protocol (spraying by default).  Multiple parallel cables
+between a rack pair are load-balanced per packet, which is exactly the
+"finer-grain control over the inter-rack routing" the paper says the
+switchless design enables.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import RoutingError
+from ..routing.base import RoutingProtocol, register_protocol
+from ..routing.weights import merge_weights, sample_spray_path, spray_link_weights
+from ..types import LinkId, NodeId
+from .topology import MultiRackFabric
+
+
+@register_protocol
+class HierarchicalRouting(RoutingProtocol):
+    """Gateway-segmented routing on a :class:`MultiRackFabric`."""
+
+    name = "hier"
+    protocol_id = 6
+    minimal = False
+
+    def __init__(self, topology) -> None:
+        super().__init__(topology)
+        if not isinstance(topology, MultiRackFabric):
+            raise RoutingError(
+                "hierarchical routing requires a MultiRackFabric, "
+                f"got {topology.name}"
+            )
+        self._fabric: MultiRackFabric = topology
+        # (rack_a, rack_b) -> list of (egress gateway in a, ingress in b).
+        self._cables: Dict[Tuple[int, int], List[Tuple[NodeId, NodeId]]] = {}
+        for link in topology.bridge_links():
+            pair = (topology.rack_of(link.src), topology.rack_of(link.dst))
+            self._cables.setdefault(pair, []).append((link.src, link.dst))
+        self._weights_cache: Dict[tuple, Mapping[LinkId, float]] = {}
+
+    def cables_between(self, rack_a: int, rack_b: int) -> List[Tuple[NodeId, NodeId]]:
+        """The gateway cables leading from *rack_a* to *rack_b* (directed)."""
+        cables = self._cables.get((rack_a, rack_b), [])
+        if not cables:
+            raise RoutingError(
+                f"no direct cables from rack {rack_a} to rack {rack_b}; "
+                "multi-hop rack routes are chosen via the rack graph"
+            )
+        return cables
+
+    def _rack_route(self, src_rack: int, dst_rack: int) -> List[int]:
+        """BFS over the rack-level graph (racks as vertices, cables as
+        edges) — the inter-rack analogue of minimal routing."""
+        if src_rack == dst_rack:
+            return [src_rack]
+        adjacency: Dict[int, List[int]] = {}
+        for a, b in self._cables:
+            adjacency.setdefault(a, []).append(b)
+        frontier = [src_rack]
+        parent = {src_rack: None}
+        while frontier:
+            nxt = []
+            for rack in frontier:
+                for neighbor in adjacency.get(rack, []):
+                    if neighbor not in parent:
+                        parent[neighbor] = rack
+                        nxt.append(neighbor)
+            if dst_rack in parent:
+                break
+            frontier = nxt
+        if dst_rack not in parent:
+            raise RoutingError(f"rack {dst_rack} unreachable from rack {src_rack}")
+        route = [dst_rack]
+        while parent[route[-1]] is not None:
+            route.append(parent[route[-1]])
+        return list(reversed(route))
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def sample_path(
+        self, src: NodeId, dst: NodeId, rng: random.Random, flow_id: int = 0
+    ) -> List[NodeId]:
+        self._check_endpoints(src, dst)
+        if src == dst:
+            return [src]
+        fabric = self._fabric
+        src_rack = fabric.rack_of(src)
+        dst_rack = fabric.rack_of(dst)
+        if src_rack == dst_rack:
+            return sample_spray_path(fabric, src, dst, rng)
+
+        path = [src]
+        here = src
+        rack_route = self._rack_route(src_rack, dst_rack)
+        for next_rack in rack_route[1:]:
+            cables = self.cables_between(fabric.rack_of(here), next_rack)
+            egress, ingress = cables[rng.randrange(len(cables))]
+            if here != egress:
+                leg = sample_spray_path(fabric, here, egress, rng)
+                path.extend(leg[1:])
+            path.append(ingress)
+            here = ingress
+        if here != dst:
+            leg = sample_spray_path(fabric, here, dst, rng)
+            path.extend(leg[1:])
+        return path
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def link_weights(
+        self, src: NodeId, dst: NodeId, flow_id: int = 0
+    ) -> Mapping[LinkId, float]:
+        self._check_endpoints(src, dst)
+        key = (src, dst)
+        cached = self._weights_cache.get(key)
+        if cached is not None:
+            return cached
+        fabric = self._fabric
+        if src == dst:
+            weights: Mapping[LinkId, float] = {}
+        elif fabric.rack_of(src) == fabric.rack_of(dst):
+            weights = spray_link_weights(fabric, src, dst)
+        else:
+            weights = self._inter_rack_weights(src, dst)
+        self._weights_cache[key] = weights
+        return weights
+
+    def _inter_rack_weights(self, src: NodeId, dst: NodeId) -> Mapping[LinkId, float]:
+        """Expected weights: average over per-hop uniform cable choices.
+
+        Mass enters a rack at each possible ingress with some probability;
+        each segment's spray weights are composed by linearity, like the
+        Valiant phase decomposition.
+        """
+        fabric = self._fabric
+        rack_route = self._rack_route(fabric.rack_of(src), fabric.rack_of(dst))
+        maps = []
+        scales = []
+        # Distribution over the node where the flow currently "is".
+        location: Dict[NodeId, float] = {src: 1.0}
+        for next_rack in rack_route[1:]:
+            next_location: Dict[NodeId, float] = {}
+            for here, mass in location.items():
+                cables = self.cables_between(fabric.rack_of(here), next_rack)
+                share = mass / len(cables)
+                for egress, ingress in cables:
+                    if here != egress:
+                        maps.append(spray_link_weights(fabric, here, egress))
+                        scales.append(share)
+                    maps.append({fabric.link_id(egress, ingress): 1.0})
+                    scales.append(share)
+                    next_location[ingress] = next_location.get(ingress, 0.0) + share
+            location = next_location
+        for here, mass in location.items():
+            if here != dst:
+                maps.append(spray_link_weights(fabric, here, dst))
+                scales.append(mass)
+        return merge_weights(*maps, scales=scales)

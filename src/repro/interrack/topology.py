@@ -1,0 +1,270 @@
+"""Multi-rack fabrics (paper §6, "Inter-rack networking").
+
+The paper leaves interconnecting rack-scale computers as future work and
+sketches two designs; both are built here so the stack can be exercised
+across racks:
+
+* **Direct connect** (:class:`MultiRackFabric`) — racks wired to each other
+  by parallel gateway cables without any switch, the Theia-style option the
+  paper calls "more promising".  The result is one big
+  :class:`~repro.topology.base.Topology` whose node ids are
+  ``rack_index * rack_size + local_id``, so every existing layer (routing,
+  water-filling, the packet simulator) works on it unchanged.  Gateway
+  cables may have a different capacity than fabric links, which is how
+  oversubscription is modelled.
+* **Switched** (:class:`switched_multirack`) — racks bridged through an
+  aggregation-switch node, for the "tunnel R2C2 packets inside Ethernet
+  frames" option (see :mod:`repro.interrack.tunnel` for the framing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TopologyError
+from ..topology.base import Topology
+from ..types import Link, LinkId, NodeId
+
+
+class MultiRackFabric(Topology):
+    """Several identical racks joined by direct gateway cables.
+
+    Args:
+        racks: The per-rack topologies.  All racks must have the same node
+            count (heterogeneous rack sizes would break the dense id
+            arithmetic and are not a configuration the paper considers).
+        bridges: Gateway cables as
+            ``(rack_a, local_a, rack_b, local_b)`` tuples; each becomes a
+            bidirectional link between the corresponding global nodes.
+        bridge_capacity_bps: Capacity of gateway cables (defaults to the
+            rack link capacity; set lower to model oversubscription).
+        bridge_latency_ns: Propagation latency of gateway cables (typically
+            larger than the 100 ns intra-rack hop).
+    """
+
+    def __init__(
+        self,
+        racks: Sequence[Topology],
+        bridges: Sequence[Tuple[int, NodeId, int, NodeId]],
+        bridge_capacity_bps: Optional[float] = None,
+        bridge_latency_ns: int = 500,
+    ) -> None:
+        if len(racks) < 2:
+            raise TopologyError("a multi-rack fabric needs at least two racks")
+        sizes = {rack.n_nodes for rack in racks}
+        if len(sizes) != 1:
+            raise TopologyError(f"racks must be equally sized, got sizes {sorted(sizes)}")
+        capacities = {rack.capacity_bps for rack in racks}
+        if len(capacities) != 1:
+            raise TopologyError("racks must share one link capacity")
+        if not bridges:
+            raise TopologyError("a multi-rack fabric needs at least one bridge")
+
+        self._racks = list(racks)
+        self._rack_size = racks[0].n_nodes
+        rack_capacity = racks[0].capacity_bps
+        self._bridge_capacity = (
+            bridge_capacity_bps if bridge_capacity_bps is not None else rack_capacity
+        )
+        if self._bridge_capacity <= 0:
+            raise TopologyError("bridge capacity must be positive")
+
+        edges: List[Tuple[NodeId, NodeId]] = []
+        for rack_idx, rack in enumerate(racks):
+            base = rack_idx * self._rack_size
+            for link in rack.links:
+                edges.append((base + link.src, base + link.dst))
+
+        bridge_pairs: List[Tuple[NodeId, NodeId]] = []
+        for rack_a, local_a, rack_b, local_b in bridges:
+            for rack_idx, local in ((rack_a, local_a), (rack_b, local_b)):
+                if not (0 <= rack_idx < len(racks)):
+                    raise TopologyError(f"bridge references unknown rack {rack_idx}")
+                if not (0 <= local < self._rack_size):
+                    raise TopologyError(f"bridge references unknown node {local}")
+            if rack_a == rack_b:
+                raise TopologyError("bridges must join two different racks")
+            a = rack_a * self._rack_size + local_a
+            b = rack_b * self._rack_size + local_b
+            bridge_pairs.append((a, b))
+            edges.append((a, b))
+            edges.append((b, a))
+
+        super().__init__(
+            len(racks) * self._rack_size,
+            edges,
+            capacity_bps=rack_capacity,
+            latency_ns=racks[0].latency_ns,
+            name=f"multirack({len(racks)}x{racks[0].name})",
+        )
+
+        # Re-stamp the gateway links with their own capacity and latency
+        # (Topology builds homogeneous links; the fabric is not).
+        self._bridge_link_ids: List[LinkId] = []
+        links = list(self._links)
+        for a, b in bridge_pairs:
+            for src, dst in ((a, b), (b, a)):
+                link_id = self.link_id(src, dst)
+                old = links[link_id]
+                links[link_id] = Link(
+                    link_id, old.src, old.dst, self._bridge_capacity, bridge_latency_ns
+                )
+                self._bridge_link_ids.append(link_id)
+        self._links = tuple(links)
+
+    # ------------------------------------------------------------------
+    # Rack-awareness helpers
+    # ------------------------------------------------------------------
+    @property
+    def n_racks(self) -> int:
+        """Number of racks in the fabric."""
+        return len(self._racks)
+
+    @property
+    def rack_size(self) -> int:
+        """Nodes per rack."""
+        return self._rack_size
+
+    @property
+    def bridge_capacity_bps(self) -> float:
+        """Gateway-cable capacity."""
+        return self._bridge_capacity
+
+    def rack_of(self, node: NodeId) -> int:
+        """The rack a global node id belongs to."""
+        self._check_node(node)
+        return node // self._rack_size
+
+    def local_id(self, node: NodeId) -> NodeId:
+        """A global node's id inside its rack."""
+        self._check_node(node)
+        return node % self._rack_size
+
+    def global_id(self, rack: int, local: NodeId) -> NodeId:
+        """Compose a global node id."""
+        if not (0 <= rack < self.n_racks):
+            raise TopologyError(f"unknown rack {rack}")
+        if not (0 <= local < self._rack_size):
+            raise TopologyError(f"unknown local node {local}")
+        return rack * self._rack_size + local
+
+    def rack_topology(self, rack: int) -> Topology:
+        """The original topology object of one rack."""
+        if not (0 <= rack < self.n_racks):
+            raise TopologyError(f"unknown rack {rack}")
+        return self._racks[rack]
+
+    def bridge_links(self) -> List[Link]:
+        """All gateway links (both directions)."""
+        return [self._links[i] for i in self._bridge_link_ids]
+
+    def gateways_of(self, rack: int) -> List[NodeId]:
+        """Global ids of this rack's gateway nodes (bridge endpoints)."""
+        nodes = set()
+        for link in self.bridge_links():
+            if self.rack_of(link.src) == rack:
+                nodes.add(link.src)
+        return sorted(nodes)
+
+    def is_bridge_link(self, link_id: LinkId) -> bool:
+        """True if the link is a gateway cable."""
+        return link_id in set(self._bridge_link_ids)
+
+    def oversubscription_ratio(self) -> float:
+        """Rack bisection capacity divided by gateway capacity per rack pair.
+
+        A rough figure of merit: the paper warns that avoiding
+        oversubscription with switches "would dramatically increase costs";
+        direct bridges make the trade-off explicit.
+        """
+        bridge_total = sum(link.capacity_bps for link in self.bridge_links()) / 2
+        return (self._rack_size * self.capacity_bps) / max(bridge_total, 1e-12)
+
+
+def ring_of_racks(
+    racks: Sequence[Topology],
+    cables_per_side: int = 2,
+    bridge_capacity_bps: Optional[float] = None,
+    bridge_latency_ns: int = 500,
+    gateway_stride: Optional[int] = None,
+) -> MultiRackFabric:
+    """Convenience builder: racks in a ring, *cables_per_side* parallel
+    cables between neighbours, gateways spread across each rack."""
+    if len(racks) < 2:
+        raise TopologyError("need at least two racks")
+    size = racks[0].n_nodes
+    stride = gateway_stride if gateway_stride is not None else max(1, size // cables_per_side)
+    bridges = []
+    for rack_idx in range(len(racks)):
+        nxt = (rack_idx + 1) % len(racks)
+        if nxt == rack_idx:
+            continue
+        for cable in range(cables_per_side):
+            local = (cable * stride) % size
+            bridges.append((rack_idx, local, nxt, local))
+        if len(racks) == 2:
+            break  # avoid duplicating the single pair's cables
+    return MultiRackFabric(
+        racks,
+        bridges,
+        bridge_capacity_bps=bridge_capacity_bps,
+        bridge_latency_ns=bridge_latency_ns,
+    )
+
+
+def switched_multirack(
+    racks: Sequence[Topology],
+    uplinks_per_rack: int = 2,
+    switch_capacity_bps: Optional[float] = None,
+    switch_latency_ns: int = 1000,
+) -> Tuple[Topology, NodeId]:
+    """Racks bridged by one aggregation switch (the Ethernet-tunnel option).
+
+    Returns ``(topology, switch_node_id)``.  Each rack connects
+    *uplinks_per_rack* gateway nodes to the switch; inter-rack traffic is
+    tunneled through it (see :mod:`repro.interrack.tunnel`).  The paper
+    notes this "would dramatically increase costs" for high-radix,
+    terabit-backplane switches — which the oversubscription here makes
+    visible.
+    """
+    if len(racks) < 2:
+        raise TopologyError("need at least two racks")
+    sizes = {rack.n_nodes for rack in racks}
+    if len(sizes) != 1:
+        raise TopologyError("racks must be equally sized")
+    size = racks[0].n_nodes
+    switch = len(racks) * size
+    capacity = (
+        switch_capacity_bps if switch_capacity_bps is not None else racks[0].capacity_bps
+    )
+
+    edges: List[Tuple[NodeId, NodeId]] = []
+    uplink_pairs: List[Tuple[NodeId, NodeId]] = []
+    for rack_idx, rack in enumerate(racks):
+        base = rack_idx * size
+        for link in rack.links:
+            edges.append((base + link.src, base + link.dst))
+        stride = max(1, size // uplinks_per_rack)
+        for uplink in range(uplinks_per_rack):
+            gateway = base + (uplink * stride) % size
+            if (gateway, switch) not in uplink_pairs:
+                uplink_pairs.append((gateway, switch))
+                edges.append((gateway, switch))
+                edges.append((switch, gateway))
+
+    topo = Topology(
+        switch + 1,
+        edges,
+        capacity_bps=racks[0].capacity_bps,
+        latency_ns=racks[0].latency_ns,
+        name=f"switched-multirack({len(racks)}x{racks[0].name})",
+    )
+    # Uplinks get the switch's capacity and latency.
+    links = list(topo.links)
+    for gateway, sw in uplink_pairs:
+        for src, dst in ((gateway, sw), (sw, gateway)):
+            link_id = topo.link_id(src, dst)
+            old = links[link_id]
+            links[link_id] = Link(link_id, old.src, old.dst, capacity, switch_latency_ns)
+    topo._links = tuple(links)  # noqa: SLF001 - same package, documented
+    return topo, switch

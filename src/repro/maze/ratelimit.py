@@ -1,0 +1,60 @@
+"""Software token-bucket rate limiters (Maze §4.1, "Rate control").
+
+One token bucket per flow gates how fast the application's packet pointers
+are inserted onto outgoing pointer rings; R2C2's congestion controller sets
+the bucket rate.  Very fine-grained software rate limiting is feasible at
+these speeds [29], and the paper notes one limiter per flow suffices because
+R2C2 respects the routing protocol's relative path rates.
+"""
+
+from __future__ import annotations
+
+from ..errors import EmulationError
+
+
+class TokenBucket:
+    """A classic token bucket in byte units with nanosecond accounting."""
+
+    def __init__(self, rate_bps: float, burst_bytes: int, now_ns: int = 0) -> None:
+        if rate_bps < 0:
+            raise EmulationError(f"rate must be >= 0, got {rate_bps}")
+        if burst_bytes < 1:
+            raise EmulationError(f"burst must be >= 1 byte, got {burst_bytes}")
+        self._rate_bps = rate_bps
+        self._burst = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last_ns = now_ns
+
+    @property
+    def rate_bps(self) -> float:
+        """Current fill rate."""
+        return self._rate_bps
+
+    def set_rate(self, rate_bps: float, now_ns: int) -> None:
+        """Change the fill rate (called on every recomputation epoch)."""
+        if rate_bps < 0:
+            raise EmulationError(f"rate must be >= 0, got {rate_bps}")
+        self._refill(now_ns)
+        self._rate_bps = rate_bps
+
+    def _refill(self, now_ns: int) -> None:
+        if now_ns < self._last_ns:
+            raise EmulationError("token bucket time went backwards")
+        elapsed = now_ns - self._last_ns
+        self._last_ns = now_ns
+        self._tokens = min(
+            float(self._burst), self._tokens + self._rate_bps * elapsed / 8e9
+        )
+
+    def try_consume(self, size_bytes: int, now_ns: int) -> bool:
+        """Spend tokens for one packet if available."""
+        self._refill(now_ns)
+        if self._tokens >= size_bytes:
+            self._tokens -= size_bytes
+            return True
+        return False
+
+    def tokens(self, now_ns: int) -> float:
+        """Current token level (testing hook)."""
+        self._refill(now_ns)
+        return self._tokens

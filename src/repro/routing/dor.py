@@ -1,0 +1,139 @@
+"""Destination-tag / dimension-order routing (DOR).
+
+The classic deterministic minimal routing for k-ary n-cubes (Dally & Towles
+[20]): correct the offset one dimension at a time, in fixed dimension order.
+On a torus ring whose offset is exactly half the ring, both directions are
+minimal; we split that tie 50/50 per packet, which is also how the link
+weights account for it.
+
+On topologies without a coordinate system the protocol degrades to the
+deterministic lowest-port minimal path, which preserves the defining
+property (a single fixed path per source/destination pair).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping
+
+from ..errors import RoutingError
+from ..types import LinkId, NodeId
+from .base import RoutingProtocol, register_protocol
+from .weights import deterministic_minimal_path, merge_weights, path_weights
+
+
+def _coordinate_dims(topology):
+    return topology.dims  # None for non-coordinate topologies
+
+
+@register_protocol
+class DestinationTagRouting(RoutingProtocol):
+    """Deterministic dimension-order minimal routing."""
+
+    name = "dor"
+    protocol_id = 1
+    minimal = True
+
+    def __init__(self, topology) -> None:
+        super().__init__(topology)
+        self._weights_cache: Dict[tuple, Mapping[LinkId, float]] = {}
+        self._has_coords = _coordinate_dims(topology) is not None
+        # Wraparound only exists on tori/hypercubes; meshes expose dims but
+        # their offsets never wrap, which _signed_offsets handles naturally.
+        self._wraps = self._has_coords and all(
+            topology.has_link(0, topology.node_at(self._wrap_neighbor(0, axis)))
+            for axis in range(len(topology.dims))
+            if topology.dims[axis] > 2
+        )
+
+    def _wrap_neighbor(self, node: NodeId, axis: int):
+        coords = list(self._topology.coordinates(node))
+        coords[axis] = (coords[axis] - 1) % self._topology.dims[axis]
+        return coords
+
+    def _signed_offsets(self, src: NodeId, dst: NodeId) -> List[List[int]]:
+        """Minimal signed offset(s) per dimension; two entries on a wrap tie."""
+        topo = self._topology
+        a = topo.coordinates(src)
+        b = topo.coordinates(dst)
+        offsets: List[List[int]] = []
+        for ca, cb, size in zip(a, b, topo.dims):
+            direct = cb - ca
+            if not self._wraps:
+                offsets.append([direct])
+                continue
+            fwd = (cb - ca) % size
+            back = fwd - size
+            if fwd == 0:
+                offsets.append([0])
+            elif fwd < -back:
+                offsets.append([fwd])
+            elif fwd > -back:
+                offsets.append([back])
+            else:
+                offsets.append([fwd, back])
+        return offsets
+
+    def _path_for_offsets(self, src: NodeId, chosen: List[int]) -> List[NodeId]:
+        topo = self._topology
+        coords = list(topo.coordinates(src))
+        path = [src]
+        for axis, offset in enumerate(chosen):
+            step = 1 if offset > 0 else -1
+            size = topo.dims[axis]
+            for _ in range(abs(offset)):
+                coords[axis] = (coords[axis] + step) % size
+                path.append(topo.node_at(coords))
+        return path
+
+    def sample_path(
+        self, src: NodeId, dst: NodeId, rng: random.Random, flow_id: int = 0
+    ) -> List[NodeId]:
+        self._check_endpoints(src, dst)
+        if src == dst:
+            return [src]
+        if not self._has_coords:
+            return deterministic_minimal_path(self._topology, src, dst)
+        chosen = []
+        for options in self._signed_offsets(src, dst):
+            if len(options) == 1:
+                chosen.append(options[0])
+            else:
+                chosen.append(options[rng.randrange(2)])
+        return self._path_for_offsets(src, chosen)
+
+    def link_weights(
+        self, src: NodeId, dst: NodeId, flow_id: int = 0
+    ) -> Mapping[LinkId, float]:
+        self._check_endpoints(src, dst)
+        key = (src, dst)
+        cached = self._weights_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            weights: Mapping[LinkId, float] = {}
+        elif not self._has_coords:
+            weights = path_weights(
+                self._topology, deterministic_minimal_path(self._topology, src, dst)
+            )
+        else:
+            weights = self._tie_split_weights(src, dst)
+        self._weights_cache[key] = weights
+        return weights
+
+    def _tie_split_weights(self, src: NodeId, dst: NodeId) -> Mapping[LinkId, float]:
+        """Average the single-path weights over all wrap-tie resolutions."""
+        offset_options = self._signed_offsets(src, dst)
+        combos: List[List[int]] = [[]]
+        for options in offset_options:
+            combos = [combo + [opt] for combo in combos for opt in options]
+        if len(combos) > 64:
+            raise RoutingError(
+                f"unexpectedly many wrap ties between {src} and {dst}"
+            )
+        maps = [
+            path_weights(self._topology, self._path_for_offsets(src, combo))
+            for combo in combos
+        ]
+        scale = 1.0 / len(maps)
+        return merge_weights(*maps, scales=[scale] * len(maps))

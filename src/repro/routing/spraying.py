@@ -1,0 +1,46 @@
+"""Randomized packet spraying (RPS) — minimal multi-path routing.
+
+Each packet independently picks, at every hop, a uniformly random neighbor
+that lies on some shortest path to the destination (Dixit et al. [22]).  This
+is R2C2's default protocol for new flows (§3.4: "new flows start with minimal
+routing").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping
+
+from ..types import LinkId, NodeId
+from .base import RoutingProtocol, register_protocol
+from .weights import sample_spray_path, spray_link_weights
+
+
+@register_protocol
+class RandomPacketSpraying(RoutingProtocol):
+    """Per-hop uniform random minimal routing."""
+
+    name = "rps"
+    protocol_id = 0
+    minimal = True
+
+    def __init__(self, topology) -> None:
+        super().__init__(topology)
+        self._weights_cache: Dict[tuple, Mapping[LinkId, float]] = {}
+
+    def sample_path(
+        self, src: NodeId, dst: NodeId, rng: random.Random, flow_id: int = 0
+    ) -> List[NodeId]:
+        self._check_endpoints(src, dst)
+        return sample_spray_path(self._topology, src, dst, rng)
+
+    def link_weights(
+        self, src: NodeId, dst: NodeId, flow_id: int = 0
+    ) -> Mapping[LinkId, float]:
+        self._check_endpoints(src, dst)
+        key = (src, dst)
+        cached = self._weights_cache.get(key)
+        if cached is None:
+            cached = spray_link_weights(self._topology, src, dst)
+            self._weights_cache[key] = cached
+        return cached

@@ -1,0 +1,113 @@
+"""Static path sets — operator-pinned multi-path routes.
+
+A :class:`StaticPathSet` carries an explicit table of weighted paths per
+(src, dst) pair.  It exists for three reasons:
+
+* it expresses textbook scenarios exactly (the paper's Figure 4 example has
+  a flow split 50/50 over a 1-hop and a 2-hop path, which no oblivious
+  protocol produces);
+* operators can pin routes for debugging or traffic engineering;
+* tests can exercise the congestion controller with hand-crafted splits.
+
+Unlike the oblivious protocols, instances are stateful (the path table), so
+they should be registered with the
+:class:`~repro.congestion.linkweights.WeightProvider` explicitly rather than
+instantiated by name.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import RoutingError
+from ..topology.paths import is_valid_path
+from ..types import LinkId, NodeId
+from .base import RoutingProtocol, register_protocol
+from .weights import merge_weights, path_weights
+
+
+@register_protocol
+class StaticPathSet(RoutingProtocol):
+    """Routes each (src, dst) pair over an explicit weighted path set."""
+
+    name = "static"
+    protocol_id = 5
+    minimal = False
+
+    def __init__(self, topology) -> None:
+        super().__init__(topology)
+        self._paths: Dict[Tuple[NodeId, NodeId], List[Tuple[List[NodeId], float]]] = {}
+        self._weights_cache: Dict[Tuple[NodeId, NodeId], Mapping[LinkId, float]] = {}
+
+    def set_paths(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        paths: Sequence[Sequence[NodeId]],
+        probabilities: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Pin the paths (and optional split probabilities) for a pair.
+
+        Probabilities default to a uniform split and are normalized to sum
+        to one.  Every path must start at *src*, end at *dst* and follow
+        existing links.
+        """
+        self._check_endpoints(src, dst)
+        if not paths:
+            raise RoutingError(f"need at least one path for ({src}, {dst})")
+        if probabilities is None:
+            probabilities = [1.0] * len(paths)
+        if len(probabilities) != len(paths):
+            raise RoutingError("paths and probabilities length mismatch")
+        total = float(sum(probabilities))
+        if total <= 0 or any(p < 0 for p in probabilities):
+            raise RoutingError("path probabilities must be non-negative, sum > 0")
+
+        validated: List[Tuple[List[NodeId], float]] = []
+        for path, prob in zip(paths, probabilities):
+            path = list(path)
+            if path[0] != src or path[-1] != dst:
+                raise RoutingError(f"path {path} does not join {src} -> {dst}")
+            if not is_valid_path(self._topology, path):
+                raise RoutingError(f"path {path} uses non-existent links")
+            validated.append((path, prob / total))
+
+        self._paths[(src, dst)] = validated
+        self._weights_cache.pop((src, dst), None)
+
+    def _lookup(self, src: NodeId, dst: NodeId) -> List[Tuple[List[NodeId], float]]:
+        try:
+            return self._paths[(src, dst)]
+        except KeyError:
+            raise RoutingError(
+                f"no static paths configured for ({src}, {dst})"
+            ) from None
+
+    def sample_path(
+        self, src: NodeId, dst: NodeId, rng: random.Random, flow_id: int = 0
+    ) -> List[NodeId]:
+        if src == dst:
+            return [src]
+        entries = self._lookup(src, dst)
+        roll = rng.random()
+        acc = 0.0
+        for path, prob in entries:
+            acc += prob
+            if roll < acc:
+                return list(path)
+        return list(entries[-1][0])
+
+    def link_weights(
+        self, src: NodeId, dst: NodeId, flow_id: int = 0
+    ) -> Mapping[LinkId, float]:
+        if src == dst:
+            return {}
+        key = (src, dst)
+        cached = self._weights_cache.get(key)
+        if cached is None:
+            entries = self._lookup(src, dst)
+            maps = [path_weights(self._topology, path) for path, _ in entries]
+            cached = merge_weights(*maps, scales=[prob for _, prob in entries])
+            self._weights_cache[key] = cached
+        return cached

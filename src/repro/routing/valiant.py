@@ -1,0 +1,143 @@
+"""Valiant load balancing (VLB) — non-minimal oblivious routing.
+
+Each packet travels minimally to a uniformly random waypoint node, then
+minimally to the destination (Valiant & Brebner [45]).  This transforms any
+traffic matrix into (two copies of) uniform traffic, which yields the
+guaranteed 0.5 worst-case throughput in Figure 2 at the cost of halved
+best-case throughput.
+
+Link-weight computation exploits linearity:
+
+* phase 2 is a single spray DP toward ``dst`` with uniform injection
+  (every node is the waypoint with probability 1/n);
+* phase 1 is the expensive direction (a different DAG per waypoint), so we
+  compute the aggregate once for a canonical source and *translate* it
+  through the topology's automorphism group.  Tori translate coordinates,
+  hypercubes XOR node ids; other topologies fall back to a per-source
+  computation with caching.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional
+
+from ..topology.hypercube import HypercubeTopology
+from ..topology.torus import TorusTopology
+from ..types import LinkId, NodeId
+from .base import RoutingProtocol, register_protocol
+from .weights import merge_weights, sample_spray_path, spray_injection_weights, spray_link_weights
+
+
+def translation_map(topology, target: NodeId) -> Optional[List[NodeId]]:
+    """Automorphism sending node 0 to *target*, as a node permutation.
+
+    Returns ``None`` when the topology has no known vertex-transitive
+    structure.  For a torus this is coordinate translation; for a hypercube
+    it is XOR with *target*.
+    """
+    if isinstance(topology, HypercubeTopology):
+        return [node ^ target for node in topology.nodes()]
+    if isinstance(topology, TorusTopology):
+        shift = topology.coordinates(target)
+        dims = topology.dims
+        mapping = []
+        for node in topology.nodes():
+            coords = topology.coordinates(node)
+            moved = tuple((c + s) % k for c, s, k in zip(coords, shift, dims))
+            mapping.append(topology.node_at(moved))
+        return mapping
+    return None
+
+
+@register_protocol
+class ValiantLoadBalancing(RoutingProtocol):
+    """Two-phase minimal routing through a uniformly random waypoint."""
+
+    name = "vlb"
+    protocol_id = 2
+    minimal = False
+
+    def __init__(self, topology) -> None:
+        super().__init__(topology)
+        self._phase1_cache: Dict[NodeId, Mapping[LinkId, float]] = {}
+        self._phase2_cache: Dict[NodeId, Mapping[LinkId, float]] = {}
+        self._pair_cache: Dict[tuple, Mapping[LinkId, float]] = {}
+        self._canonical_phase1: Optional[Mapping[LinkId, float]] = None
+        self._transitive = translation_map(topology, 0) is not None
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def sample_path(
+        self, src: NodeId, dst: NodeId, rng: random.Random, flow_id: int = 0
+    ) -> List[NodeId]:
+        self._check_endpoints(src, dst)
+        if src == dst:
+            return [src]
+        waypoint = rng.randrange(self._topology.n_nodes)
+        leg1 = sample_spray_path(self._topology, src, waypoint, rng)
+        leg2 = sample_spray_path(self._topology, waypoint, dst, rng)
+        return leg1 + leg2[1:]
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def link_weights(
+        self, src: NodeId, dst: NodeId, flow_id: int = 0
+    ) -> Mapping[LinkId, float]:
+        self._check_endpoints(src, dst)
+        key = (src, dst)
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            cached = merge_weights(self._phase1_weights(src), self._phase2_weights(dst))
+            self._pair_cache[key] = cached
+        return cached
+
+    def _phase2_weights(self, dst: NodeId) -> Mapping[LinkId, float]:
+        """Expected weights of the waypoint -> dst leg: one spray DP with a
+        uniform 1/n injection at every node."""
+        cached = self._phase2_cache.get(dst)
+        if cached is None:
+            n = self._topology.n_nodes
+            injection = {node: 1.0 / n for node in self._topology.nodes()}
+            cached = spray_injection_weights(self._topology, dst, injection)
+            self._phase2_cache[dst] = cached
+        return cached
+
+    def _phase1_weights(self, src: NodeId) -> Mapping[LinkId, float]:
+        """Expected weights of the src -> waypoint leg, averaged over all
+        waypoints."""
+        cached = self._phase1_cache.get(src)
+        if cached is not None:
+            return cached
+        if self._transitive:
+            weights = self._translate_phase1(src)
+        else:
+            weights = self._compute_phase1(src)
+        self._phase1_cache[src] = weights
+        return weights
+
+    def _compute_phase1(self, src: NodeId) -> Mapping[LinkId, float]:
+        n = self._topology.n_nodes
+        maps = [
+            spray_link_weights(self._topology, src, waypoint)
+            for waypoint in self._topology.nodes()
+            if waypoint != src
+        ]
+        return merge_weights(*maps, scales=[1.0 / n] * len(maps))
+
+    def _translate_phase1(self, src: NodeId) -> Mapping[LinkId, float]:
+        if self._canonical_phase1 is None:
+            self._canonical_phase1 = self._compute_phase1(0)
+        if src == 0:
+            return self._canonical_phase1
+        mapping = translation_map(self._topology, src)
+        assert mapping is not None
+        topo = self._topology
+        translated: Dict[LinkId, float] = {}
+        for link_id, weight in self._canonical_phase1.items():
+            link = topo.links[link_id]
+            moved = topo.link_id(mapping[link.src], mapping[link.dst])
+            translated[moved] = translated.get(moved, 0.0) + weight
+        return translated

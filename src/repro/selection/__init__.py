@@ -1,0 +1,47 @@
+"""Per-flow routing-protocol selection (paper §3.4).
+
+The paper's production choice is the genetic algorithm
+(:class:`GeneticSelector`); hill climbing, simulated annealing and
+log-linear learning are provided as the baselines it was compared against,
+plus the all-RPS / all-VLB / random baselines of Figure 18.
+"""
+
+from .annealing import AnnealingConfig, AnnealingSelector
+from .genetic import GeneticConfig, GeneticSelector
+from .hillclimb import HillClimbConfig, HillClimbSelector
+from .loglinear import LogLinearConfig, LogLinearSelector
+from .objective import (
+    AggregateThroughput,
+    BlendedUtility,
+    TailThroughput,
+    TenantTailThroughput,
+    UtilityMetric,
+)
+from .search import (
+    Assignment,
+    SearchResult,
+    SelectionProblem,
+    random_baseline,
+    uniform_baseline,
+)
+
+__all__ = [
+    "AggregateThroughput",
+    "AnnealingConfig",
+    "AnnealingSelector",
+    "Assignment",
+    "BlendedUtility",
+    "GeneticConfig",
+    "GeneticSelector",
+    "HillClimbConfig",
+    "HillClimbSelector",
+    "LogLinearConfig",
+    "LogLinearSelector",
+    "SearchResult",
+    "SelectionProblem",
+    "TailThroughput",
+    "TenantTailThroughput",
+    "UtilityMetric",
+    "random_baseline",
+    "uniform_baseline",
+]

@@ -1,0 +1,80 @@
+"""Simulated annealing — a heuristic the paper tried and found "very
+sensitive to parameter tuning and workload characteristics" (§3.4).
+
+Kept as an ablation baseline: the Figure 18 shoot-out bench compares it
+against the genetic algorithm across loads.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import SelectionError
+from .search import SearchResult, SelectionProblem
+
+
+@dataclass
+class AnnealingConfig:
+    """Geometric-cooling simulated annealing."""
+
+    initial_temperature: float = 1.0
+    cooling: float = 0.95
+    steps_per_temperature: int = 20
+    min_temperature: float = 1e-3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.initial_temperature <= 0 or self.min_temperature <= 0:
+            raise SelectionError("temperatures must be positive")
+        if not (0.0 < self.cooling < 1.0):
+            raise SelectionError("cooling must be in (0, 1)")
+        if self.steps_per_temperature < 1:
+            raise SelectionError("steps_per_temperature must be >= 1")
+
+
+class AnnealingSelector:
+    """Single-gene random moves accepted by the Metropolis criterion."""
+
+    def __init__(self, config: Optional[AnnealingConfig] = None) -> None:
+        self.config = config or AnnealingConfig()
+
+    def search(self, problem: SelectionProblem) -> SearchResult:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        current = problem.current_assignment()
+        utility = problem.fitness(current)
+        best, best_utility = current, utility
+        history: List[float] = [utility]
+
+        # Normalize the acceptance scale to the starting utility so the
+        # temperature schedule is workload-independent (this is exactly the
+        # tuning sensitivity the paper complains about).
+        scale = max(abs(utility), 1.0)
+
+        temperature = cfg.initial_temperature
+        while temperature > cfg.min_temperature:
+            for _ in range(cfg.steps_per_temperature):
+                flow_idx = rng.randrange(problem.n_flows)
+                choice = rng.randrange(problem.n_choices)
+                if choice == current[flow_idx]:
+                    continue
+                candidate = current[:flow_idx] + (choice,) + current[flow_idx + 1 :]
+                value = problem.fitness(candidate)
+                delta = (value - utility) / scale
+                if delta >= 0 or rng.random() < math.exp(delta / temperature):
+                    current, utility = candidate, value
+                    if utility > best_utility:
+                        best, best_utility = current, utility
+            history.append(utility)
+            temperature *= cfg.cooling
+
+        return SearchResult(
+            assignment=best,
+            utility=best_utility,
+            evaluations=problem.evaluations,
+            history=history,
+            heuristic="annealing",
+        )

@@ -1,0 +1,84 @@
+"""Hill climbing — the simple greedy baseline the paper rejects (§3.4).
+
+"The search landscape ... typically exhibits several local maxima.
+Therefore, simple greedy heuristics (e.g., hill-climbing) are not
+effective."  Included so the claim can be measured (the Figure 18 ablation
+bench runs the heuristic shoot-out).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import SelectionError
+from .search import Assignment, SearchResult, SelectionProblem
+
+
+@dataclass
+class HillClimbConfig:
+    """First-improvement hill climbing with random restarts."""
+
+    max_steps: int = 2000
+    restarts: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_steps < 1 or self.restarts < 1:
+            raise SelectionError("max_steps and restarts must be >= 1")
+
+
+class HillClimbSelector:
+    """Repeated single-gene improvement until a local maximum."""
+
+    def __init__(self, config: Optional[HillClimbConfig] = None) -> None:
+        self.config = config or HillClimbConfig()
+
+    def search(self, problem: SelectionProblem) -> SearchResult:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        best_assignment = problem.current_assignment()
+        best_utility = problem.fitness(best_assignment)
+        history: List[float] = [best_utility]
+
+        for restart in range(cfg.restarts):
+            current = (
+                best_assignment
+                if restart == 0
+                else problem.random_assignment(rng)
+            )
+            utility = problem.fitness(current)
+            steps = 0
+            improved = True
+            while improved and steps < cfg.max_steps:
+                improved = False
+                # Scan flows in random order, take the first improving move.
+                order = list(range(problem.n_flows))
+                rng.shuffle(order)
+                for flow_idx in order:
+                    for choice in range(problem.n_choices):
+                        if choice == current[flow_idx]:
+                            continue
+                        candidate = (
+                            current[:flow_idx] + (choice,) + current[flow_idx + 1 :]
+                        )
+                        steps += 1
+                        value = problem.fitness(candidate)
+                        if value > utility + 1e-12:
+                            current, utility = candidate, value
+                            improved = True
+                            break
+                    if improved or steps >= cfg.max_steps:
+                        break
+            history.append(utility)
+            if utility > best_utility:
+                best_assignment, best_utility = current, utility
+
+        return SearchResult(
+            assignment=best_assignment,
+            utility=best_utility,
+            evaluations=problem.evaluations,
+            history=history,
+            heuristic="hill-climb",
+        )

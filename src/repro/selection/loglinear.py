@@ -1,0 +1,92 @@
+"""Log-linear learning — the game-theoretic baseline the paper considered
+before settling on genetic algorithms (§3.4, citing Marden & Shamma [5]).
+
+Each round one flow ("player") revises its protocol: it evaluates the
+global utility of every candidate protocol (holding everyone else fixed)
+and samples from the log-linear (softmax) distribution with temperature τ.
+As τ → 0 the process concentrates on potential-function maximizers; because
+every player optimizes the *global* utility, the game is a potential game
+and there is no price-of-anarchy gap — matching the paper's argument that
+nodes optimizing a global metric avoid selfish inefficiency.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import SelectionError
+from .search import SearchResult, SelectionProblem
+
+
+@dataclass
+class LogLinearConfig:
+    """Asynchronous log-linear learning with geometric temperature decay."""
+
+    rounds: int = 300
+    initial_temperature: float = 0.1
+    decay: float = 0.99
+    min_temperature: float = 1e-4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise SelectionError("rounds must be >= 1")
+        if self.initial_temperature <= 0 or self.min_temperature <= 0:
+            raise SelectionError("temperatures must be positive")
+        if not (0.0 < self.decay <= 1.0):
+            raise SelectionError("decay must be in (0, 1]")
+
+
+class LogLinearSelector:
+    """One-player-at-a-time softmax best response on the global utility."""
+
+    def __init__(self, config: Optional[LogLinearConfig] = None) -> None:
+        self.config = config or LogLinearConfig()
+
+    def search(self, problem: SelectionProblem) -> SearchResult:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        current = problem.current_assignment()
+        utility = problem.fitness(current)
+        best, best_utility = current, utility
+        history: List[float] = [utility]
+        scale = max(abs(utility), 1.0)
+        temperature = cfg.initial_temperature
+
+        for _ in range(cfg.rounds):
+            flow_idx = rng.randrange(problem.n_flows)
+            values = []
+            for choice in range(problem.n_choices):
+                candidate = current[:flow_idx] + (choice,) + current[flow_idx + 1 :]
+                values.append(problem.fitness(candidate))
+            # Softmax over normalized utilities.
+            top = max(values)
+            weights = [
+                math.exp(((v - top) / scale) / temperature) for v in values
+            ]
+            total = sum(weights)
+            roll = rng.random() * total
+            acc = 0.0
+            chosen = len(weights) - 1
+            for i, w in enumerate(weights):
+                acc += w
+                if roll < acc:
+                    chosen = i
+                    break
+            current = current[:flow_idx] + (chosen,) + current[flow_idx + 1 :]
+            utility = values[chosen]
+            history.append(utility)
+            if utility > best_utility:
+                best, best_utility = current, utility
+            temperature = max(cfg.min_temperature, temperature * cfg.decay)
+
+        return SearchResult(
+            assignment=best,
+            utility=best_utility,
+            evaluations=problem.evaluations,
+            history=history,
+            heuristic="log-linear",
+        )

@@ -1,0 +1,44 @@
+"""The packet-level simulator (paper §5.2) and a fluid companion.
+
+* :func:`run_simulation` — packet-level runs of the ``r2c2``, ``tcp`` and
+  ``pfq`` stacks.
+* :class:`~repro.sim.fluid.FluidSimulator` — flow-level (rate-based) runs
+  for the rate-accuracy experiments (Figures 15/16) and fast sweeps.
+"""
+
+from .engine import EventLoop
+from .flows import SimFlow
+from .metrics import LONG_FLOW_BYTES, SHORT_FLOW_BYTES, SimMetrics
+from .network import FifoQueue, OutputPort, PerFlowRoundRobin, RackNetwork
+from .packets import (
+    ACK_SIZE_BYTES,
+    KIND_ACK,
+    KIND_BROADCAST,
+    KIND_DATA,
+    SimPacket,
+    broadcast_packet_size,
+    data_packet_size,
+)
+from .runner import STACKS, SimConfig, run_simulation
+
+__all__ = [
+    "ACK_SIZE_BYTES",
+    "EventLoop",
+    "FifoQueue",
+    "KIND_ACK",
+    "KIND_BROADCAST",
+    "KIND_DATA",
+    "LONG_FLOW_BYTES",
+    "OutputPort",
+    "PerFlowRoundRobin",
+    "RackNetwork",
+    "SHORT_FLOW_BYTES",
+    "STACKS",
+    "SimConfig",
+    "SimFlow",
+    "SimMetrics",
+    "SimPacket",
+    "broadcast_packet_size",
+    "data_packet_size",
+    "run_simulation",
+]

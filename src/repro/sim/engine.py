@@ -1,0 +1,82 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: integer-nanosecond timestamps, a binary heap,
+and FIFO ordering among simultaneous events (a monotonically increasing
+sequence number breaks timestamp ties, so causality between same-time events
+follows scheduling order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class EventLoop:
+    """The simulation clock and event queue."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed so far (performance accounting)."""
+        return self._events_processed
+
+    def schedule(self, delay_ns: int, action: Callable[[], None]) -> None:
+        """Run *action* ``delay_ns`` nanoseconds from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns} ns in the past")
+        self.schedule_at(self._now + delay_ns, action)
+
+    def schedule_at(self, at_ns: int, action: Callable[[], None]) -> None:
+        """Run *action* at absolute time *at_ns*."""
+        if at_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at {at_ns} ns, current time is {self._now} ns"
+            )
+        heapq.heappush(self._queue, (at_ns, self._seq, action))
+        self._seq += 1
+
+    def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the queue drains or a bound is reached.
+
+        Args:
+            until_ns: Stop once the next event is later than this time (the
+                clock is left at ``until_ns``).
+            max_events: Safety bound on processed events.
+
+        Returns:
+            Number of events processed during this call.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            at_ns, _, action = self._queue[0]
+            if until_ns is not None and at_ns > until_ns:
+                self._now = until_ns
+                break
+            heapq.heappop(self._queue)
+            self._now = at_ns
+            action()
+            processed += 1
+        else:
+            if until_ns is not None and self._now < until_ns:
+                self._now = until_ns
+        self._events_processed += processed
+        return processed
+
+    def pending(self) -> int:
+        """Events currently queued."""
+        return len(self._queue)

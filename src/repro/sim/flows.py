@@ -1,0 +1,110 @@
+"""Per-flow simulation state shared by sender and receiver sides."""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..types import FlowId, NodeId
+from ..workloads.generator import FlowArrival
+
+
+class SimFlow:
+    """Mutable state of one flow across its lifetime in the simulator."""
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "size_bytes",
+        "start_ns",
+        "protocol",
+        "weight",
+        "priority",
+        "tenant",
+        "bytes_sent",
+        "bytes_received",
+        "next_seq",
+        "sender_done_ns",
+        "completed_ns",
+        "expected_seq",
+        "reorder_buffer",
+        "max_reorder_buffer",
+        "received_seqs",
+        "total_segments",
+        "app_rate_bps",
+    )
+
+    def __init__(self, arrival: FlowArrival) -> None:
+        self.flow_id: FlowId = arrival.flow_id
+        self.src: NodeId = arrival.src
+        self.dst: NodeId = arrival.dst
+        self.size_bytes = arrival.size_bytes
+        self.start_ns = arrival.start_ns
+        self.protocol = arrival.protocol
+        self.weight = arrival.weight
+        self.priority = arrival.priority
+        self.tenant = arrival.tenant
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.next_seq = 0
+        self.sender_done_ns: Optional[int] = None
+        self.completed_ns: Optional[int] = None
+        # Receiver-side reordering bookkeeping (multi-path delivery).
+        self.expected_seq = 0
+        self.reorder_buffer: Set[int] = set()
+        self.max_reorder_buffer = 0
+        self.received_seqs: Optional[Set[int]] = None
+        self.total_segments: Optional[int] = None
+        self.app_rate_bps = arrival.app_rate_bps
+
+    def produced_bytes(self, now_ns: int) -> int:
+        """Bytes the application has made available by *now_ns*.
+
+        Network-limited flows have everything available immediately;
+        host-limited flows produce at ``app_rate_bps``.
+        """
+        if self.app_rate_bps is None:
+            return self.size_bytes
+        elapsed = max(0, now_ns - self.start_ns)
+        return min(self.size_bytes, int(self.app_rate_bps * elapsed / 8e9))
+
+    @property
+    def remaining_bytes(self) -> int:
+        """Bytes the sender still has to transmit."""
+        return self.size_bytes - self.bytes_sent
+
+    @property
+    def sender_done(self) -> bool:
+        """True once the sender transmitted every byte."""
+        return self.bytes_sent >= self.size_bytes
+
+    @property
+    def completed(self) -> bool:
+        """True once the receiver holds every byte."""
+        return self.completed_ns is not None
+
+    def fct_ns(self) -> int:
+        """Flow completion time (receiver-side, last byte minus start)."""
+        if self.completed_ns is None:
+            raise ValueError(f"flow {self.flow_id} has not completed")
+        return self.completed_ns - self.start_ns
+
+    def average_throughput_bps(self) -> float:
+        """size / FCT — the Figure 11/13 long-flow metric."""
+        fct = self.fct_ns()
+        if fct <= 0:
+            return float("inf")
+        return self.size_bytes * 8 * 1e9 / fct
+
+    def record_in_order(self, seq: int) -> None:
+        """Receiver-side reorder tracking for sequentially numbered packets."""
+        if seq == self.expected_seq:
+            self.expected_seq += 1
+            while self.expected_seq in self.reorder_buffer:
+                self.reorder_buffer.discard(self.expected_seq)
+                self.expected_seq += 1
+        elif seq > self.expected_seq:
+            self.reorder_buffer.add(seq)
+            if len(self.reorder_buffer) > self.max_reorder_buffer:
+                self.max_reorder_buffer = len(self.reorder_buffer)
+        # seq < expected_seq is a duplicate (retransmission); ignore.

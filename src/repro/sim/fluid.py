@@ -1,0 +1,254 @@
+"""Flow-level (fluid) simulation: rates instead of packets.
+
+Used where the paper's experiments are about *rate dynamics* rather than
+queueing — the recomputation-interval accuracy study (Figures 15 and 16)
+compares the average rate each flow receives under a periodic recomputation
+interval ρ against the ideal ρ=0 case (recompute at every flow event).
+
+Between rate changes every flow drains linearly at its allocated rate, so
+the simulation advances from event to event (arrival, departure, epoch)
+analytically, with one water-fill per recomputation.  Young-flow semantics
+match the packet simulator: under batching (ρ > 0) a new flow transmits at
+the initial rate until the first epoch boundary that includes it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..congestion.flowstate import FlowSpec
+from ..congestion.linkweights import WeightProvider
+from ..congestion.waterfill import waterfill
+from ..errors import SimulationError
+from ..topology.base import Topology
+from ..types import FlowId, usec
+from ..workloads.generator import FlowArrival
+
+
+@dataclass
+class FluidConfig:
+    """Fluid-simulation knobs.
+
+    ``recompute_interval_ns == 0`` is the ideal case: rates recomputed at
+    every flow arrival and departure, with no young-flow exemption.
+    """
+
+    headroom: float = 0.05
+    recompute_interval_ns: int = usec(500)
+    #: Young-flow rate policy, mirroring ControllerConfig:
+    #: "local_waterfill" (sender computes the new flow's allocation at flow
+    #: start, the §3.1 reading), "mean_allocated" (cheap estimate) or
+    #: "line_rate" (headroom absorbs the blast).
+    initial_rate_policy: str = "local_waterfill"
+    initial_rate_bps: Optional[float] = None  # explicit override
+
+    def __post_init__(self) -> None:
+        if self.recompute_interval_ns < 0:
+            raise SimulationError("recompute interval must be >= 0")
+        if self.initial_rate_policy not in (
+            "local_waterfill",
+            "mean_allocated",
+            "line_rate",
+        ):
+            raise SimulationError(
+                f"unknown initial_rate_policy {self.initial_rate_policy!r}"
+            )
+
+
+@dataclass
+class FluidFlowResult:
+    """Outcome of one flow in a fluid run."""
+
+    flow_id: FlowId
+    size_bytes: int
+    start_ns: int
+    finish_ns: int
+
+    @property
+    def fct_ns(self) -> int:
+        return self.finish_ns - self.start_ns
+
+    @property
+    def average_rate_bps(self) -> float:
+        """size / FCT — the quantity Figures 15/16 compare across ρ."""
+        if self.fct_ns <= 0:
+            return float("inf")
+        return self.size_bytes * 8 * 1e9 / self.fct_ns
+
+
+class _ActiveFlow:
+    __slots__ = ("spec", "remaining_bits", "rate_bps", "young")
+
+    def __init__(self, spec: FlowSpec, size_bytes: int, rate_bps: float) -> None:
+        self.spec = spec
+        self.remaining_bits = size_bytes * 8.0
+        self.rate_bps = rate_bps
+        self.young = True
+
+
+class FluidSimulator:
+    """Event-to-event fluid execution of a flow trace."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        provider: Optional[WeightProvider] = None,
+        config: Optional[FluidConfig] = None,
+    ) -> None:
+        self._topology = topology
+        self._provider = provider if provider is not None else WeightProvider(topology)
+        self._config = config or FluidConfig()
+        self.recomputations = 0
+        self.sender_computations = 0
+
+    @property
+    def provider(self) -> WeightProvider:
+        """The shared link-weight cache (reusable across runs)."""
+        return self._provider
+
+    def run(self, trace: Sequence[FlowArrival]) -> Dict[FlowId, FluidFlowResult]:
+        """Simulate until every flow in *trace* completes."""
+        if not trace:
+            return {}
+        config = self._config
+        rho = config.recompute_interval_ns
+        capacity = self._topology.capacity_bps
+        last_mean_rate = capacity
+
+        def initial_rate() -> float:
+            if config.initial_rate_bps is not None:
+                return config.initial_rate_bps
+            if config.initial_rate_policy == "mean_allocated":
+                return min(capacity, last_mean_rate)
+            return capacity
+
+        arrivals = sorted(trace, key=lambda a: (a.start_ns, a.flow_id))
+        arrival_by_id = {a.flow_id: a for a in arrivals}
+        next_arrival = 0
+        active: Dict[FlowId, _ActiveFlow] = {}
+        results: Dict[FlowId, FluidFlowResult] = {}
+        now = float(arrivals[0].start_ns)
+        next_epoch = (math.floor(now / rho) + 1) * rho if rho > 0 else math.inf
+
+        def recompute() -> None:
+            nonlocal last_mean_rate
+            self.recomputations += 1
+            specs = [f.spec for f in active.values()]
+            allocation = waterfill(
+                self._topology, specs, self._provider, headroom=config.headroom
+            )
+            for flow in active.values():
+                flow.rate_bps = allocation.rates_bps[flow.spec.flow_id]
+                flow.young = False
+            if allocation.rates_bps:
+                rates = allocation.rates_bps.values()
+                last_mean_rate = sum(rates) / len(rates)
+
+        while next_arrival < len(arrivals) or active:
+            # Next departure under current rates.
+            dep_time = math.inf
+            dep_flow: Optional[FlowId] = None
+            for fid, flow in active.items():
+                if flow.rate_bps > 0:
+                    t = now + flow.remaining_bits / flow.rate_bps * 1e9
+                    if t < dep_time:
+                        dep_time = t
+                        dep_flow = fid
+            arr_time = (
+                float(arrivals[next_arrival].start_ns)
+                if next_arrival < len(arrivals)
+                else math.inf
+            )
+            epoch_time = next_epoch if (rho > 0 and active) else (
+                next_epoch if rho > 0 else math.inf
+            )
+            t_next = min(dep_time, arr_time, epoch_time)
+            if math.isinf(t_next):
+                raise SimulationError(
+                    "fluid simulation stalled: active flows with zero rate "
+                    "and no upcoming events"
+                )
+
+            # Drain all flows to t_next.
+            dt = t_next - now
+            if dt > 0:
+                for flow in active.values():
+                    flow.remaining_bits -= flow.rate_bps * dt / 1e9
+            now = t_next
+
+            if t_next == epoch_time and rho > 0:
+                next_epoch += rho
+                if active:
+                    recompute()
+                continue
+
+            if t_next == arr_time:
+                arrival = arrivals[next_arrival]
+                next_arrival += 1
+                spec = FlowSpec(
+                    flow_id=arrival.flow_id,
+                    src=arrival.src,
+                    dst=arrival.dst,
+                    protocol=arrival.protocol,
+                    weight=arrival.weight,
+                    priority=arrival.priority,
+                    start_time_ns=int(now),
+                    tenant=arrival.tenant,
+                )
+                flow = _ActiveFlow(spec, arrival.size_bytes, initial_rate())
+                active[arrival.flow_id] = flow
+                if rho == 0:
+                    recompute()
+                elif config.initial_rate_policy == "local_waterfill":
+                    # Sender-side computation for the new flow only; other
+                    # flows keep their batched rates until the next epoch.
+                    self.sender_computations += 1
+                    allocation = waterfill(
+                        self._topology,
+                        [f.spec for f in active.values()],
+                        self._provider,
+                        headroom=config.headroom,
+                    )
+                    flow.rate_bps = allocation.rates_bps[arrival.flow_id]
+                continue
+
+            # Departure (numerical slack: anything within one bit counts).
+            assert dep_flow is not None
+            flow = active.pop(dep_flow)
+            arrival_record = arrival_by_id[dep_flow]
+            results[dep_flow] = FluidFlowResult(
+                flow_id=dep_flow,
+                size_bytes=arrival_record.size_bytes,
+                start_ns=flow.spec.start_time_ns,
+                finish_ns=int(now),
+            )
+            if rho == 0 and active:
+                recompute()
+
+        return results
+
+
+def average_rate_error(
+    topology: Topology,
+    trace: Sequence[FlowArrival],
+    rho_ns: int,
+    headroom: float = 0.05,
+    provider: Optional[WeightProvider] = None,
+) -> List[float]:
+    """Per-flow normalized |rate(ρ) − rate(0)| / rate(0) (Figures 15/16)."""
+    provider = provider if provider is not None else WeightProvider(topology)
+    ideal = FluidSimulator(
+        topology, provider, FluidConfig(headroom=headroom, recompute_interval_ns=0)
+    ).run(trace)
+    actual = FluidSimulator(
+        topology, provider, FluidConfig(headroom=headroom, recompute_interval_ns=rho_ns)
+    ).run(trace)
+    errors = []
+    for flow_id, ideal_result in ideal.items():
+        ideal_rate = ideal_result.average_rate_bps
+        actual_rate = actual[flow_id].average_rate_bps
+        if ideal_rate > 0 and math.isfinite(ideal_rate):
+            errors.append(abs(actual_rate - ideal_rate) / ideal_rate)
+    return errors

@@ -1,0 +1,366 @@
+"""The simulated network fabric: output ports, queues, forwarding.
+
+Each directed link is modelled as an *output port* at its sending node: a
+queue (discipline pluggable) feeding a transmitter that serializes packets
+at line rate, plus the link's propagation latency.  Intermediate nodes
+forward data packets by following the path in the packet (source routing,
+§3.5) and broadcast packets by consulting the rack-wide broadcast FIB
+(§3.2) — exactly the two lookups the paper argues are simple enough for
+on-chip implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..broadcast.fib import BroadcastFib
+from ..errors import SimulationError
+from ..topology.base import Topology
+from ..types import NodeId, transmission_time_ns
+from .engine import EventLoop
+from .packets import KIND_BROADCAST, SimPacket
+
+
+class FifoQueue:
+    """Single drop-tail FIFO per port — R2C2's data-plane assumption.
+
+    ``limit_bytes=None`` models the measurement setup of Figures 7b/14
+    (unbounded queue, occupancy recorded); a finite limit models
+    small-buffer micro-servers and drives TCP's loss-based control.
+    """
+
+    def __init__(self, limit_bytes: Optional[int] = None) -> None:
+        self._queue: Deque[SimPacket] = deque()
+        self._bytes = 0
+        self._limit = limit_bytes
+
+    def enqueue(self, packet: SimPacket) -> bool:
+        if self._limit is not None and self._bytes + packet.size_bytes > self._limit:
+            return False
+        self._queue.append(packet)
+        self._bytes += packet.size_bytes
+        return True
+
+    def dequeue(self) -> Optional[SimPacket]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size_bytes
+        return packet
+
+    @property
+    def occupancy_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PerFlowRoundRobin:
+    """Per-flow queues served round-robin — the idealized PFQ baseline.
+
+    Flows can be *paused* (back-pressure): a paused flow's queue retains its
+    packets but is skipped by the scheduler.
+    """
+
+    def __init__(self, limit_bytes_per_flow: Optional[int] = None) -> None:
+        self._queues: Dict[int, Deque[SimPacket]] = {}
+        self._flow_bytes: Dict[int, int] = {}
+        self._active: Deque[int] = deque()
+        self._paused: set = set()
+        self._bytes = 0
+        self._limit = limit_bytes_per_flow
+
+    def enqueue(self, packet: SimPacket) -> bool:
+        flow = packet.flow_id
+        if (
+            self._limit is not None
+            and self._flow_bytes.get(flow, 0) + packet.size_bytes > self._limit
+        ):
+            return False
+        queue = self._queues.get(flow)
+        if queue is None:
+            queue = deque()
+            self._queues[flow] = queue
+            self._flow_bytes[flow] = 0
+        if not queue and flow not in self._paused:
+            self._active.append(flow)
+        queue.append(packet)
+        self._flow_bytes[flow] += packet.size_bytes
+        self._bytes += packet.size_bytes
+        return True
+
+    def dequeue(self) -> Optional[SimPacket]:
+        while self._active:
+            flow = self._active.popleft()
+            queue = self._queues.get(flow)
+            if not queue or flow in self._paused:
+                continue
+            packet = queue.popleft()
+            self._flow_bytes[flow] -= packet.size_bytes
+            self._bytes -= packet.size_bytes
+            if queue:
+                self._active.append(flow)
+            return packet
+        return None
+
+    def pause(self, flow_id: int) -> None:
+        """Back-pressure: stop serving this flow's queue."""
+        self._paused.add(flow_id)
+
+    def resume(self, flow_id: int) -> None:
+        """Lift back-pressure; re-activate the flow if it has packets."""
+        if flow_id in self._paused:
+            self._paused.discard(flow_id)
+            if self._queues.get(flow_id):
+                self._active.append(flow_id)
+
+    def flow_occupancy_bytes(self, flow_id: int) -> int:
+        """Bytes queued for one flow (back-pressure trigger)."""
+        return self._flow_bytes.get(flow_id, 0)
+
+    @property
+    def occupancy_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+class OutputPort:
+    """One directed link's queue and transmitter at its sending node."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        src: NodeId,
+        dst: NodeId,
+        capacity_bps: float,
+        latency_ns: int,
+        queue,
+        deliver: Callable[[SimPacket], None],
+        on_drop: Optional[Callable[[SimPacket], None]] = None,
+        loss_rate: float = 0.0,
+        loss_rng: Optional[random.Random] = None,
+    ) -> None:
+        self._loop = loop
+        self.src = src
+        self.dst = dst
+        self._capacity_bps = capacity_bps
+        self._latency_ns = latency_ns
+        self.queue = queue
+        self._deliver = deliver
+        self._on_drop = on_drop
+        #: probability a transmitted data/ACK packet is corrupted on the
+        #: wire (fault injection for reliability tests); broadcasts are
+        #: exempt so the control plane stays testable independently.
+        self._loss_rate = loss_rate
+        self._loss_rng = loss_rng
+        self._busy = False
+        # Statistics.
+        self.max_occupancy_bytes = 0
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.drops = 0
+        self.wire_losses = 0
+        self.busy_ns = 0
+
+    def send(self, packet: SimPacket) -> bool:
+        """Queue a packet for transmission; returns False on drop."""
+        if not self.queue.enqueue(packet):
+            self.drops += 1
+            if self._on_drop is not None:
+                self._on_drop(packet)
+            return False
+        occupancy = self.queue.occupancy_bytes
+        if occupancy > self.max_occupancy_bytes:
+            self.max_occupancy_bytes = occupancy
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        duration = transmission_time_ns(packet.size_bytes, self._capacity_bps)
+        self.busy_ns += duration
+        self.bytes_sent += packet.size_bytes
+        self.packets_sent += 1
+        self._loop.schedule(duration, lambda p=packet: self._finish(p))
+
+    def _finish(self, packet: SimPacket) -> None:
+        if (
+            self._loss_rate > 0.0
+            and packet.kind != KIND_BROADCAST
+            and self._loss_rng is not None
+            and self._loss_rng.random() < self._loss_rate
+        ):
+            # Corrupted on the wire: it consumed transmission time but is
+            # discarded by the receiver's checksum.
+            self.wire_losses += 1
+        else:
+            # Propagation happens in parallel with the next serialization.
+            self._loop.schedule(self._latency_ns, lambda p=packet: self._deliver(p))
+        self._start_next()
+
+    def kick(self) -> None:
+        """Restart transmission after a pause/resume changed the queue."""
+        if not self._busy:
+            self._start_next()
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized."""
+        return self._busy
+
+
+class RackNetwork:
+    """All ports of the rack plus the forwarding logic between them."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        topology: Topology,
+        fib: Optional[BroadcastFib] = None,
+        queue_factory: Callable[[], object] = FifoQueue,
+        on_drop: Optional[Callable[[NodeId, SimPacket], None]] = None,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ) -> None:
+        if not (0.0 <= loss_rate < 1.0):
+            raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self._loop = loop
+        self._topology = topology
+        self._fib = fib
+        self._on_drop = on_drop
+        loss_rng = random.Random(loss_seed ^ 0x10555) if loss_rate > 0 else None
+        #: stack_at[node] is installed by the runner; it must expose
+        #: deliver(packet) for packets terminating at the node.
+        self.stack_at: List[Optional[object]] = [None] * topology.n_nodes
+        self._ports: Dict[Tuple[NodeId, NodeId], OutputPort] = {}
+        for link in topology.links:
+            self._ports[(link.src, link.dst)] = OutputPort(
+                loop,
+                link.src,
+                link.dst,
+                link.capacity_bps,
+                link.latency_ns,
+                queue_factory(),
+                deliver=self._make_deliver(link.dst),
+                on_drop=self._make_drop_handler(link.src),
+                loss_rate=loss_rate,
+                loss_rng=loss_rng,
+            )
+
+    @property
+    def topology(self) -> Topology:
+        """The fabric being simulated."""
+        return self._topology
+
+    @property
+    def fib(self) -> Optional[BroadcastFib]:
+        """The broadcast FIB, if broadcasts are in use."""
+        return self._fib
+
+    def port(self, src: NodeId, dst: NodeId) -> OutputPort:
+        """The output port for directed link src -> dst."""
+        try:
+            return self._ports[(src, dst)]
+        except KeyError:
+            raise SimulationError(f"no link {src} -> {dst}") from None
+
+    def ports(self) -> List[OutputPort]:
+        """All output ports (stats collection)."""
+        return list(self._ports.values())
+
+    def _make_deliver(self, node: NodeId):
+        return lambda packet: self.arrived(node, packet)
+
+    def _make_drop_handler(self, node: NodeId):
+        if self._on_drop is None:
+            return None
+        return lambda packet: self._on_drop(node, packet)
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def inject(self, node: NodeId, packet: SimPacket) -> bool:
+        """A host at *node* hands a packet to its switching element."""
+        if packet.kind == KIND_BROADCAST:
+            return self._forward_broadcast(node, packet, is_source=True)
+        return self._forward_data(node, packet)
+
+    def arrived(self, node: NodeId, packet: SimPacket) -> None:
+        """A packet finished propagating to *node*."""
+        if packet.kind == KIND_BROADCAST:
+            self._deliver_local(node, packet)
+            self._forward_broadcast(node, packet, is_source=False)
+            return
+        packet.hop += 1
+        if packet.at_destination():
+            self._deliver_local(node, packet)
+        else:
+            self._forward_data(node, packet)
+
+    def _forward_data(self, node: NodeId, packet: SimPacket) -> bool:
+        if packet.path is None:
+            raise SimulationError("data packet without a source route")
+        if packet.current_node() != node:
+            raise SimulationError(
+                f"packet at node {node} but route says {packet.current_node()}"
+            )
+        return self.port(node, packet.next_node()).send(packet)
+
+    def _forward_broadcast(
+        self, node: NodeId, packet: SimPacket, is_source: bool
+    ) -> bool:
+        if self._fib is None:
+            raise SimulationError("broadcast sent but no FIB configured")
+        if is_source:
+            self._deliver_local(node, packet)
+        ok = True
+        for child in self._fib.next_hops(node, packet.src, packet.tree_id):
+            copy = SimPacket(
+                kind=packet.kind,
+                flow_id=packet.flow_id,
+                src=packet.src,
+                dst=packet.dst,
+                seq=packet.seq,
+                size_bytes=packet.size_bytes,
+                path=(node, child),
+                tree_id=packet.tree_id,
+                payload=packet.payload,
+                sent_ns=packet.sent_ns,
+            )
+            ok = self.port(node, child).send(copy) and ok
+        return ok
+
+    def _deliver_local(self, node: NodeId, packet: SimPacket) -> None:
+        stack = self.stack_at[node]
+        if stack is None:
+            raise SimulationError(f"no host stack installed at node {node}")
+        stack.deliver(packet)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def max_queue_occupancies(self) -> List[int]:
+        """Per-port maximum queue occupancy in bytes (Figures 7b, 14)."""
+        return [port.max_occupancy_bytes for port in self.ports()]
+
+    def total_drops(self) -> int:
+        """Packets dropped across all ports."""
+        return sum(port.drops for port in self.ports())
+
+    def total_wire_losses(self) -> int:
+        """Packets corrupted by injected wire loss across all ports."""
+        return sum(port.wire_losses for port in self.ports())
+
+    def total_bytes_sent(self) -> int:
+        """Bytes transmitted across all links."""
+        return sum(port.bytes_sent for port in self.ports())

@@ -1,0 +1,290 @@
+"""Simulation façade: configure, run, collect (paper §5.2 methodology).
+
+:func:`run_simulation` executes a flow trace on one of the three stacks the
+evaluation compares — ``r2c2``, ``tcp`` or ``pfq`` — and returns a
+:class:`~repro.sim.metrics.SimMetrics` with the figures' quantities.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..broadcast.fib import BroadcastFib
+from ..congestion.controller import ControllerConfig, RateController
+from ..congestion.linkweights import WeightProvider
+from ..errors import SimulationError
+from ..routing.ecmp import EcmpSinglePath
+from ..topology.base import Topology
+from ..types import msec, usec
+from ..workloads.generator import FlowArrival
+from .engine import EventLoop
+from .flows import SimFlow
+from .metrics import SimMetrics
+from .network import FifoQueue, RackNetwork
+from .packets import data_packet_size
+from .stacks.pfq import BackpressureQueue, PfqCoordinator, PfqStack
+from .stacks.r2c2 import PerNodeControlPlane, R2C2Stack, SharedControlPlane
+from .stacks.r2c2_reliable import R2C2ReliableStack
+from .stacks.tcp import DEFAULT_TCP_QUEUE_LIMIT, TcpStack
+
+#: Stacks selectable in :class:`SimConfig`.
+STACKS = ("r2c2", "tcp", "pfq")
+
+
+@dataclass
+class SimConfig:
+    """Knobs of one simulation run.
+
+    Defaults mirror the paper: 5 % headroom, 500 µs recomputation interval,
+    random packet spraying for R2C2/PFQ, ECMP single path for TCP.
+    """
+
+    stack: str = "r2c2"
+    mtu_payload: int = 1500
+    headroom: float = 0.05
+    recompute_interval_ns: int = usec(500)
+    n_broadcast_trees: int = 4
+    exempt_young_flows: bool = True
+    #: Use the §6 reliability transport (numbered segments, SACKs,
+    #: retransmission) for the R2C2 stack.
+    reliable: bool = False
+    #: Retransmission timeout of the reliability transport.
+    rto_ns: int = usec(150)
+    #: Probability that a transmitted data/ACK packet is corrupted on the
+    #: wire (fault injection; broadcasts are exempt).
+    loss_rate: float = 0.0
+    #: "shared" collapses the (provably identical) per-node controllers
+    #: into one; "per_node" runs a controller per node, fed only by actual
+    #: broadcast deliveries (full visibility-skew fidelity).
+    control_plane: str = "shared"
+    #: Optional finite queue limit for the R2C2 stack's ports.  ``None``
+    #: (paper behaviour) measures unbounded queues; a finite limit enables
+    #: the §3.2 broadcast drop-notification/retransmission path.
+    queue_limit_bytes: Optional[int] = None
+    pfq_protocol: str = "rps"
+    pfq_high_packets: int = 3
+    pfq_low_packets: int = 1
+    tcp_queue_limit_bytes: int = DEFAULT_TCP_QUEUE_LIMIT
+    seed: int = 0
+    horizon_ns: Optional[int] = None
+    progress_chunk_ns: int = msec(1)
+
+    def __post_init__(self) -> None:
+        if self.stack not in STACKS:
+            raise SimulationError(f"unknown stack {self.stack!r}; choose from {STACKS}")
+        if self.mtu_payload < 1:
+            raise SimulationError("mtu_payload must be >= 1")
+        if self.control_plane not in ("shared", "per_node"):
+            raise SimulationError(
+                f"control_plane must be 'shared' or 'per_node', got {self.control_plane!r}"
+            )
+
+
+def run_simulation(
+    topology: Topology,
+    trace: Sequence[FlowArrival],
+    config: Optional[SimConfig] = None,
+    provider: Optional[WeightProvider] = None,
+) -> SimMetrics:
+    """Simulate *trace* on *topology* under *config*.
+
+    The run ends when every flow has completed, or at ``config.horizon_ns``
+    (default: a generous bound derived from the trace).
+
+    Args:
+        provider: Optional shared :class:`WeightProvider` so parameter
+            sweeps reuse the (expensive) link-weight cache across runs.
+    """
+    config = config or SimConfig()
+    if not trace:
+        raise SimulationError("empty flow trace")
+    for arrival in trace:
+        if arrival.src == arrival.dst:
+            raise SimulationError(f"flow {arrival.flow_id} has src == dst")
+
+    loop = EventLoop()
+    metrics = SimMetrics()
+    flows: Dict[int, SimFlow] = {a.flow_id: SimFlow(a) for a in trace}
+    if len(flows) != len(trace):
+        raise SimulationError("duplicate flow ids in trace")
+
+    started_wall = time.perf_counter()
+    if config.stack == "r2c2":
+        network, control = _build_r2c2(topology, loop, flows, metrics, config, provider)
+    elif config.stack == "tcp":
+        network = _build_tcp(topology, loop, flows, metrics, config)
+        control = None
+    else:
+        network = _build_pfq(topology, loop, flows, metrics, config)
+        control = None
+
+    for arrival in trace:
+        flow = flows[arrival.flow_id]
+        loop.schedule_at(
+            arrival.start_ns,
+            lambda f=flow: network.stack_at[f.src].start_flow(f),
+        )
+
+    horizon = config.horizon_ns
+    if horizon is None:
+        horizon = _default_horizon(topology, trace)
+    chunk = max(config.progress_chunk_ns, 1)
+    while loop.now < horizon:
+        loop.run(until_ns=min(loop.now + chunk, horizon))
+        if all(f.completed for f in flows.values()):
+            break
+        if loop.pending() == 0:
+            break
+
+    metrics.flows = list(flows.values())
+    metrics.max_queue_occupancy_bytes = network.max_queue_occupancies()
+    metrics.total_bytes_on_wire = network.total_bytes_sent()
+    metrics.data_bytes_on_wire = (
+        metrics.total_bytes_on_wire - metrics.broadcast_bytes - metrics.ack_bytes
+    )
+    metrics.drops = network.total_drops()
+    metrics.wire_losses = network.total_wire_losses()
+    metrics.events_processed = loop.events_processed
+    metrics.duration_ns = loop.now
+    metrics.wallclock_s = time.perf_counter() - started_wall
+    if control is not None:
+        metrics.recompute_overheads = [
+            s.cpu_overhead for s in control.recompute_stats()
+        ]
+    return metrics
+
+
+def _default_horizon(topology: Topology, trace: Sequence[FlowArrival]) -> int:
+    """A generous stop time: last arrival plus time to drain all bytes at a
+    pessimistic tenth of one link's rate, plus a floor."""
+    last_arrival = max(a.start_ns for a in trace)
+    total_bits = sum(a.size_bytes for a in trace) * 8
+    drain_ns = int(total_bits / (topology.capacity_bps / 10) * 1e9)
+    return last_arrival + max(drain_ns, msec(50))
+
+
+def _build_r2c2(topology, loop, flows, metrics, config, provider):
+    from ..routing.weights import deterministic_minimal_path
+    from .packets import DROP_NOTE_SIZE_BYTES, KIND_BROADCAST, KIND_DROP_NOTE, SimPacket
+
+    fib = BroadcastFib(topology, n_trees=config.n_broadcast_trees, seed=config.seed)
+    network_holder = {}
+
+    def on_drop(node, packet):
+        # §3.2: a node that drops a broadcast (queue overflow) notifies the
+        # source so it can retransmit on another tree.  Best effort: the
+        # notification itself may be dropped too.
+        if packet.kind != KIND_BROADCAST or node == packet.src:
+            return
+        path = deterministic_minimal_path(topology, node, packet.src)
+        note = SimPacket(
+            kind=KIND_DROP_NOTE,
+            flow_id=packet.flow_id,
+            src=node,
+            dst=packet.src,
+            seq=packet.seq,
+            size_bytes=DROP_NOTE_SIZE_BYTES,
+            path=tuple(path),
+            sent_ns=loop.now,
+        )
+        network_holder["net"].inject(node, note)
+
+    network = RackNetwork(
+        loop,
+        topology,
+        fib=fib,
+        queue_factory=(
+            (lambda: FifoQueue(limit_bytes=config.queue_limit_bytes))
+            if config.queue_limit_bytes is not None
+            else FifoQueue
+        ),
+        on_drop=on_drop,
+        loss_rate=config.loss_rate,
+        loss_seed=config.seed,
+    )
+    network_holder["net"] = network
+    provider = provider if provider is not None else WeightProvider(topology)
+    controller_config = ControllerConfig(
+        headroom=config.headroom,
+        recompute_interval_ns=config.recompute_interval_ns,
+        exempt_young_flows=config.exempt_young_flows,
+    )
+    if config.control_plane == "per_node":
+        control = PerNodeControlPlane(
+            loop, network, topology, provider, controller_config
+        )
+    else:
+        controller = RateController(
+            topology, node=0, provider=provider, config=controller_config
+        )
+        control = SharedControlPlane(loop, network, controller)
+    common = dict(
+        mtu_payload=config.mtu_payload,
+        seed=config.seed,
+        n_trees=config.n_broadcast_trees,
+        metrics=metrics,
+    )
+    for node in topology.nodes():
+        if config.reliable:
+            network.stack_at[node] = R2C2ReliableStack(
+                node, loop, network, control, flows, rto_ns=config.rto_ns, **common
+            )
+        else:
+            network.stack_at[node] = R2C2Stack(
+                node, loop, network, control, flows, **common
+            )
+    control.start_epochs()
+    return network, control
+
+
+def _build_tcp(topology, loop, flows, metrics, config):
+    limit = config.tcp_queue_limit_bytes
+    network = RackNetwork(
+        loop,
+        topology,
+        queue_factory=lambda: FifoQueue(limit_bytes=limit),
+        loss_rate=config.loss_rate,
+        loss_seed=config.seed,
+    )
+    ecmp = EcmpSinglePath(topology)
+    for node in topology.nodes():
+        network.stack_at[node] = TcpStack(
+            node,
+            loop,
+            network,
+            flows,
+            ecmp,
+            mtu_payload=config.mtu_payload,
+            metrics=metrics,
+        )
+    return network
+
+
+def _build_pfq(topology, loop, flows, metrics, config):
+    coordinator = PfqCoordinator()
+    packet_bytes = data_packet_size(config.mtu_payload)
+    high = config.pfq_high_packets * packet_bytes
+    low = config.pfq_low_packets * packet_bytes
+    network = RackNetwork(
+        loop,
+        topology,
+        queue_factory=lambda: BackpressureQueue(coordinator, high, low),
+    )
+    from ..routing.base import make_protocol
+
+    protocol = make_protocol(config.pfq_protocol, topology)
+    for node in topology.nodes():
+        network.stack_at[node] = PfqStack(
+            node,
+            loop,
+            network,
+            coordinator,
+            flows,
+            protocol,
+            mtu_payload=config.mtu_payload,
+            seed=config.seed,
+            metrics=metrics,
+        )
+    return network

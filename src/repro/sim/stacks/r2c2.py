@@ -1,0 +1,432 @@
+"""The R2C2 host stack inside the packet simulator (paper §3, §4.2).
+
+Sender side: per-flow token-bucket pacing at the controller-assigned rate,
+per-packet path sampling by the flow's routing protocol, source-route
+injection, and flow start/finish broadcasts that travel as real 16-byte
+packets along the broadcast trees (consuming link bandwidth).
+
+Receiver side: payload accounting, completion detection and reorder-buffer
+measurement.
+
+Two control-plane models share one interface:
+
+* :class:`SharedControlPlane` (default) — a single rack-wide
+  :class:`~repro.congestion.controller.RateController`.  Every node would
+  compute identical allocations from identical broadcast-fed tables, so the
+  simulator computes them once per epoch instead of once per node per
+  epoch; the table is updated the moment a sender *emits* an event.
+* :class:`PerNodeControlPlane` — full fidelity: one controller per node,
+  updated only when a broadcast packet is actually *delivered* to that node
+  (the sender applies its own events immediately).  Identical tables still
+  cost one water-fill thanks to a shared allocation memo, so this mode is
+  affordable and is used to validate the shared collapsing
+  (`tests/integration/` and `SimConfig(control_plane="per_node")`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...broadcast.fib import BroadcastFib
+from ...congestion.controller import ControllerConfig, RateController
+from ...congestion.flowstate import FlowSpec
+from ...errors import SimulationError
+from ...types import NodeId
+from ..engine import EventLoop
+from ..flows import SimFlow
+from ..network import RackNetwork
+from ..packets import (
+    DROP_NOTE_SIZE_BYTES,
+    KIND_BROADCAST,
+    KIND_DATA,
+    KIND_DROP_NOTE,
+    SimPacket,
+    broadcast_packet_size,
+    data_packet_size,
+)
+from .base import HostStack
+
+#: Broadcast payload markers (mirrors the wire event codes).
+_EVENT_START = 1
+_EVENT_FINISH = 2
+_EVENT_DEMAND = 3
+
+
+class SharedControlPlane:
+    """One rack-wide controller standing in for all per-node copies."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: RackNetwork,
+        controller: RateController,
+    ) -> None:
+        self.loop = loop
+        self.network = network
+        self.controller = controller
+        self._stacks: List["R2C2Stack"] = []
+        self._epoch_scheduled = False
+
+    @property
+    def provider(self):
+        """The shared link-weight cache."""
+        return self.controller.provider
+
+    @property
+    def config(self) -> ControllerConfig:
+        """The rack-wide controller configuration."""
+        return self.controller.config
+
+    def register(self, stack: "R2C2Stack") -> None:
+        """A node stack joins the control plane."""
+        self._stacks.append(stack)
+
+    def start_epochs(self) -> None:
+        """Schedule the periodic recomputation (idempotent)."""
+        if self._epoch_scheduled:
+            return
+        self._epoch_scheduled = True
+        interval = self.controller.config.recompute_interval_ns
+        if interval <= 0:
+            return  # strawman mode recomputes per event instead
+
+        def tick() -> None:
+            self.controller.recompute(self.loop.now)
+            for stack in self._stacks:
+                stack.on_epoch()
+            self.loop.schedule(interval, tick)
+
+        self.loop.schedule(interval, tick)
+
+    def on_flow_started(self, spec: FlowSpec, node: NodeId) -> None:
+        """Sender announced a flow (its own table knows immediately)."""
+        self.controller.on_flow_started(spec, self.loop.now)
+
+    def on_flow_finished(self, flow_id: int, node: NodeId) -> None:
+        """Sender announced a finish."""
+        self.controller.on_flow_finished(flow_id, self.loop.now)
+
+    def on_demand_update(self, flow_id: int, demand_bps: float, node: NodeId) -> None:
+        """Sender announced a demand estimate."""
+        self.controller.on_demand_update(flow_id, demand_bps)
+
+    def rate_for(self, flow_id: int, node: NodeId) -> float:
+        """Current enforced rate for a flow, as node *node* sees it."""
+        return self.controller.rate_for(flow_id)
+
+    def apply_broadcast(self, node: NodeId, src: NodeId, payload) -> None:
+        """Broadcast delivery at *node*: a no-op — the shared table was
+        already updated when the sender emitted the event."""
+
+    def recompute_stats(self):
+        """Recomputation statistics for the metrics collector."""
+        return self.controller.stats
+
+
+class PerNodeControlPlane:
+    """Full-fidelity control plane: one controller per rack node.
+
+    Remote nodes learn about flows only when the 16-byte broadcast packets
+    actually reach them through the simulated fabric, so visibility skew is
+    modelled exactly.  A shared allocation memo keeps the cost near the
+    shared mode's: nodes whose tables agree (the overwhelmingly common
+    case) reuse one water-fill result.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: RackNetwork,
+        topology,
+        provider,
+        config: ControllerConfig,
+    ) -> None:
+        self.loop = loop
+        self.network = network
+        self._config = config
+        self._provider = provider
+        self._cache: Dict = {}
+        self.controllers: List[RateController] = [
+            RateController(
+                topology,
+                node,
+                provider=provider,
+                config=config,
+                allocation_cache=self._cache,
+            )
+            for node in topology.nodes()
+        ]
+        #: kept for interface parity (metrics, reliable stack internals).
+        self.controller = self.controllers[0]
+        self._stacks: List["R2C2Stack"] = []
+        self._epoch_scheduled = False
+
+    @property
+    def provider(self):
+        """The shared link-weight cache."""
+        return self._provider
+
+    @property
+    def config(self) -> ControllerConfig:
+        """The rack-wide controller configuration."""
+        return self._config
+
+    def register(self, stack: "R2C2Stack") -> None:
+        """A node stack joins the control plane."""
+        self._stacks.append(stack)
+
+    def start_epochs(self) -> None:
+        """Every node recomputes at the same epoch boundaries."""
+        if self._epoch_scheduled:
+            return
+        self._epoch_scheduled = True
+        interval = self._config.recompute_interval_ns
+        if interval <= 0:
+            return
+
+        def tick() -> None:
+            for controller in self.controllers:
+                controller.recompute(self.loop.now)
+            for stack in self._stacks:
+                stack.on_epoch()
+            self.loop.schedule(interval, tick)
+
+        self.loop.schedule(interval, tick)
+
+    def on_flow_started(self, spec: FlowSpec, node: NodeId) -> None:
+        """The sender's controller learns immediately; others by delivery."""
+        self.controllers[node].on_flow_started(spec, self.loop.now)
+
+    def on_flow_finished(self, flow_id: int, node: NodeId) -> None:
+        self.controllers[node].on_flow_finished(flow_id, self.loop.now)
+
+    def on_demand_update(self, flow_id: int, demand_bps: float, node: NodeId) -> None:
+        self.controllers[node].on_demand_update(flow_id, demand_bps)
+
+    def rate_for(self, flow_id: int, node: NodeId) -> float:
+        return self.controllers[node].rate_for(flow_id)
+
+    def apply_broadcast(self, node: NodeId, src: NodeId, payload) -> None:
+        """A broadcast packet reached *node*: apply it to that node's view."""
+        if src == node:
+            return  # the sender already applied its own event
+        event, data = payload
+        controller = self.controllers[node]
+        if event == _EVENT_START:
+            # Remote nodes store the spec; they never rate-limit it, so the
+            # young-flow water-fill is suppressed by inserting directly.
+            controller.table.add(data)
+        elif event == _EVENT_FINISH:
+            controller.table.remove(data)
+        elif event == _EVENT_DEMAND:
+            flow_id, demand_bps = data
+            controller.on_demand_update(flow_id, demand_bps)
+        else:
+            raise SimulationError(f"unknown broadcast event {event}")
+
+    def recompute_stats(self):
+        """Aggregate recomputation statistics across all controllers."""
+        stats = []
+        for controller in self.controllers:
+            stats.extend(controller.stats)
+        return stats
+
+
+class R2C2Stack(HostStack):
+    """One node's R2C2 data plane plus its control-plane hooks."""
+
+    def __init__(
+        self,
+        node: NodeId,
+        loop: EventLoop,
+        network: RackNetwork,
+        control: SharedControlPlane,
+        flows_by_id: Dict[int, SimFlow],
+        mtu_payload: int = 1500,
+        seed: int = 0,
+        n_trees: int = 4,
+        metrics=None,
+    ) -> None:
+        super().__init__(node, loop, network)
+        self.control = control
+        self._flows = flows_by_id
+        self._mtu = mtu_payload
+        self._rng = random.Random((seed << 16) ^ node)
+        self._n_trees = n_trees
+        self._next_tree = node  # stagger tree choice across nodes
+        self._metrics = metrics
+        self._active_local: Set[int] = set()
+        self._stalled: Set[int] = set()
+        self._bcast_seq = 0
+        #: demand estimators for host-limited local flows (§3.3.2).
+        self._estimators: Dict[int, object] = {}
+        #: recently sent broadcasts, for §3.2 drop-triggered retransmission
+        #: (seq -> (flow, event, data)); bounded replay window.
+        self._bcast_pending: Dict[int, tuple] = {}
+        self.broadcast_retransmissions = 0
+        control.register(self)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def start_flow(self, flow: SimFlow) -> None:
+        if flow.src != self.node:
+            raise SimulationError(
+                f"flow {flow.flow_id} sourced at {flow.src}, not {self.node}"
+            )
+        if flow.src == flow.dst:
+            raise SimulationError("self-flows are not meaningful in the rack fabric")
+        spec = FlowSpec(
+            flow_id=flow.flow_id,
+            src=flow.src,
+            dst=flow.dst,
+            protocol=flow.protocol,
+            weight=flow.weight,
+            priority=flow.priority,
+            start_time_ns=self.loop.now,
+            tenant=flow.tenant,
+        )
+        self.control.on_flow_started(spec, self.node)
+        self._broadcast(flow, _EVENT_START, spec)
+        self._active_local.add(flow.flow_id)
+        if flow.app_rate_bps is not None:
+            from ...congestion.demand import DemandEstimator
+
+            interval = max(
+                self.control.config.recompute_interval_ns, 1
+            )
+            self._estimators[flow.flow_id] = DemandEstimator(period_ns=interval)
+        self._emit(flow)
+
+    def _broadcast(self, flow: SimFlow, event: int, data=None) -> None:
+        seq = self._bcast_seq
+        self._bcast_seq += 1
+        self._bcast_pending[seq] = (flow, event, data)
+        if len(self._bcast_pending) > 256:
+            self._bcast_pending.pop(next(iter(self._bcast_pending)))
+        self._send_broadcast(flow, event, data, seq)
+
+    def _send_broadcast(self, flow: SimFlow, event: int, data, seq: int) -> None:
+        tree_id = self._next_tree % self._n_trees
+        self._next_tree += 1
+        packet = SimPacket(
+            kind=KIND_BROADCAST,
+            flow_id=flow.flow_id,
+            src=self.node,
+            dst=flow.dst,
+            seq=seq,
+            size_bytes=broadcast_packet_size(),
+            tree_id=tree_id,
+            payload=(event, data if data is not None else flow.flow_id),
+            sent_ns=self.loop.now,
+        )
+        self.network.inject(self.node, packet)
+
+    def on_broadcast_dropped(self, dropped_at: NodeId, seq: int) -> None:
+        """§3.2: "the node dropping a broadcast packet informs the sender
+        who can then re-transmit" — retransmit on the next tree."""
+        pending = self._bcast_pending.get(seq)
+        if pending is None:
+            return  # aged out of the replay window
+        flow, event, data = pending
+        self.broadcast_retransmissions += 1
+        self._send_broadcast(flow, event, data, seq)
+
+    def _emit(self, flow: SimFlow) -> None:
+        if flow.sender_done or flow.flow_id not in self._active_local:
+            return
+        rate = self.control.rate_for(flow.flow_id, self.node)
+        if rate <= 0:
+            self._stalled.add(flow.flow_id)
+            return
+        payload = min(self._mtu, flow.remaining_bytes)
+        available = flow.produced_bytes(self.loop.now) - flow.bytes_sent
+        if available < payload:
+            # Host-limited: the application has not produced enough bytes
+            # yet; resume when it has.
+            assert flow.app_rate_bps is not None
+            needed = payload - available
+            delay = max(1, int(needed * 8 * 1e9 / flow.app_rate_bps))
+            self.loop.schedule(delay, lambda f=flow: self._emit(f))
+            return
+        size = data_packet_size(payload)
+        protocol = self.control.provider.protocol(flow.protocol)
+        path = protocol.sample_path(flow.src, flow.dst, self._rng, flow.flow_id)
+        packet = SimPacket(
+            kind=KIND_DATA,
+            flow_id=flow.flow_id,
+            src=flow.src,
+            dst=flow.dst,
+            seq=flow.next_seq,
+            size_bytes=size,
+            path=tuple(path),
+            payload=payload,
+            sent_ns=self.loop.now,
+        )
+        flow.next_seq += 1
+        flow.bytes_sent += payload
+        self.network.inject(self.node, packet)
+
+        if flow.sender_done:
+            flow.sender_done_ns = self.loop.now
+            self._active_local.discard(flow.flow_id)
+            self._estimators.pop(flow.flow_id, None)
+            self.control.on_flow_finished(flow.flow_id, self.node)
+            self._broadcast(flow, _EVENT_FINISH, flow.flow_id)
+        else:
+            # Token-bucket pacing: the next packet may start once this one's
+            # bits have been paid for at the allocated rate.
+            delay = max(1, int(size * 8 * 1e9 / rate))
+            self.loop.schedule(delay, lambda f=flow: self._emit(f))
+
+    def on_epoch(self) -> None:
+        """Epoch duties: wake stalled flows, refresh demand estimates."""
+        stalled = list(self._stalled)
+        self._stalled.clear()
+        for flow_id in stalled:
+            flow = self._flows.get(flow_id)
+            if flow is not None and not flow.sender_done:
+                self._emit(flow)
+        # Demand estimation for host-limited flows (eq. 1): backlog is the
+        # bytes the app produced that the flow has not yet sent.
+        for flow_id, estimator in list(self._estimators.items()):
+            flow = self._flows.get(flow_id)
+            if flow is None or flow.sender_done:
+                continue
+            allocated = self.control.rate_for(flow_id, self.node)
+            backlog = max(0, flow.produced_bytes(self.loop.now) - flow.bytes_sent)
+            estimator.observe(allocated, backlog)
+            if estimator.should_broadcast(allocated):
+                demand = estimator.mark_broadcast()
+                self.control.on_demand_update(flow_id, demand, self.node)
+                self._broadcast(flow, _EVENT_DEMAND, (flow_id, demand))
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def deliver(self, packet: SimPacket) -> None:
+        if packet.kind == KIND_BROADCAST:
+            # Count wire traffic only: the copy the source hands to its own
+            # control plane never crossed a link.
+            if self._metrics is not None and packet.src != self.node:
+                self._metrics.broadcast_bytes += packet.size_bytes
+                self._metrics.broadcast_packets += 1
+            # Shared mode: no-op (the sender already applied the event);
+            # per-node mode: this delivery is when the node's table learns.
+            self.control.apply_broadcast(self.node, packet.src, packet.payload)
+            return
+        if packet.kind == KIND_DROP_NOTE:
+            self.on_broadcast_dropped(packet.src, packet.seq)
+            return
+        if packet.kind != KIND_DATA:
+            raise SimulationError(f"unexpected packet kind {packet.kind}")
+        flow = self._flows.get(packet.flow_id)
+        if flow is None:
+            raise SimulationError(f"packet for unknown flow {packet.flow_id}")
+        if self._metrics is not None:
+            self._metrics.packet_latency.record(self.loop.now - packet.sent_ns)
+        flow.record_in_order(packet.seq)
+        flow.bytes_received += packet.payload
+        if flow.bytes_received >= flow.size_bytes and flow.completed_ns is None:
+            flow.completed_ns = self.loop.now

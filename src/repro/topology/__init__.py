@@ -1,0 +1,44 @@
+"""Direct-connect rack topologies and path machinery (paper §2.1).
+
+Public surface:
+
+* :class:`Topology` / :class:`GraphTopology` — generic immutable topologies.
+* :class:`TorusTopology`, :class:`MeshTopology`, :class:`HypercubeTopology`,
+  :class:`FoldedClosTopology` — the fabrics discussed in the paper.
+* :class:`ShortestPathDag`, :func:`count_shortest_paths`,
+  :func:`enumerate_shortest_paths` — minimal-path structure.
+* :func:`bisection_channel_count`, :func:`bisection_bandwidth_bps`.
+"""
+
+from .base import DEFAULT_CAPACITY_BPS, DEFAULT_LATENCY_NS, GraphTopology, Topology
+from .bisection import bisection_bandwidth_bps, bisection_channel_count
+from .clos import FoldedClosTopology
+from .hypercube import HypercubeTopology
+from .paths import (
+    ShortestPathDag,
+    count_shortest_paths,
+    enumerate_shortest_paths,
+    is_minimal_path,
+    is_valid_path,
+    path_links,
+)
+from .torus import MeshTopology, TorusTopology
+
+__all__ = [
+    "DEFAULT_CAPACITY_BPS",
+    "DEFAULT_LATENCY_NS",
+    "FoldedClosTopology",
+    "GraphTopology",
+    "HypercubeTopology",
+    "MeshTopology",
+    "ShortestPathDag",
+    "Topology",
+    "TorusTopology",
+    "bisection_bandwidth_bps",
+    "bisection_channel_count",
+    "count_shortest_paths",
+    "enumerate_shortest_paths",
+    "is_minimal_path",
+    "is_valid_path",
+    "path_links",
+]

@@ -1,0 +1,10 @@
+"""End-to-end reliability for R2C2 flows (paper §6, "Reliability").
+
+Acknowledgements here serve reliability only; sending rates always come
+from the congestion controller — the decoupling the paper argues makes both
+mechanisms simpler than in TCP-like ACK-clocked designs.
+"""
+
+from .reliability import SACK_WINDOW, AckInfo, ReliableReceiver, ReliableSender
+
+__all__ = ["AckInfo", "ReliableReceiver", "ReliableSender", "SACK_WINDOW"]

@@ -1,0 +1,186 @@
+"""End-to-end reliability decoupled from congestion control (paper §6).
+
+R2C2 "does not provide a complete network transport protocol — it does not
+provide end-to-end reliability"; the paper argues that classic mechanisms
+become *simpler* under R2C2 because acknowledgements are used solely for
+reliability, not for ACK-clocked rate control.  This module implements that
+transport layer:
+
+* :class:`ReliableSender` — a retransmission window over numbered segments.
+  *When* to send is the congestion controller's business (the token-bucket
+  rate); the sender only decides *what*: the oldest expired unacked segment,
+  else the next new one.
+* :class:`ReliableReceiver` — tracks received segments and produces
+  cumulative + selective acknowledgements.
+
+Both are plain state machines (no timers, no I/O) so they run unchanged in
+the packet simulator, the Maze emulation, or tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ReproError
+
+#: Width of the selective-ack bitmap carried beyond the cumulative ack.
+SACK_WINDOW = 32
+
+
+@dataclass(frozen=True)
+class AckInfo:
+    """The receiver's view, as carried by an ACK packet.
+
+    Attributes:
+        cumulative: All segments below this index have been received.
+        sack_bitmap: Bit *i* set means segment ``cumulative + 1 + i`` has
+            been received out of order.
+    """
+
+    cumulative: int
+    sack_bitmap: int = 0
+
+    def is_received(self, seq: int) -> bool:
+        """Whether this ACK proves receipt of segment *seq*."""
+        if seq < self.cumulative:
+            return True
+        offset = seq - (self.cumulative + 1)
+        return 0 <= offset < SACK_WINDOW and bool(self.sack_bitmap >> offset & 1)
+
+
+class ReliableSender:
+    """Retransmission bookkeeping for one flow.
+
+    Segments are fixed-index units 0..n-1 (the last may be short).  The
+    sender tracks, per in-flight segment, when it was (last) sent; a
+    segment whose age exceeds the caller-supplied retransmission timeout is
+    eligible again.  Because rate control is handled elsewhere, there is no
+    window — the controller's token bucket is the only throttle.
+    """
+
+    def __init__(self, n_segments: int, rto_ns: int) -> None:
+        if n_segments < 1:
+            raise ReproError(f"need at least one segment, got {n_segments}")
+        if rto_ns <= 0:
+            raise ReproError(f"rto must be positive, got {rto_ns}")
+        self.n_segments = n_segments
+        self.rto_ns = rto_ns
+        self._next_new = 0
+        self._acked: Set[int] = set()
+        self._in_flight: Dict[int, int] = {}  # seq -> last send time
+        self.retransmissions = 0
+
+    @property
+    def all_acked(self) -> bool:
+        """True when every segment has been acknowledged."""
+        return len(self._acked) == self.n_segments
+
+    @property
+    def in_flight(self) -> int:
+        """Segments sent but not yet acknowledged."""
+        return len(self._in_flight)
+
+    def next_segment(self, now_ns: int) -> Optional[int]:
+        """The segment to transmit next, or None if nothing is eligible.
+
+        Priority: the oldest timed-out unacked segment (retransmission),
+        then the next never-sent segment.  ``None`` means everything sent
+        is still within its RTO and no new data remains.
+        """
+        expired = [
+            seq
+            for seq, sent in self._in_flight.items()
+            if now_ns - sent >= self.rto_ns
+        ]
+        if expired:
+            seq = min(expired)
+            self.retransmissions += 1
+            return seq
+        while self._next_new < self.n_segments and self._next_new in self._acked:
+            self._next_new += 1
+        if self._next_new < self.n_segments:
+            return self._next_new
+        return None
+
+    def on_sent(self, seq: int, now_ns: int) -> None:
+        """Record a (re)transmission of segment *seq*."""
+        if not (0 <= seq < self.n_segments):
+            raise ReproError(f"segment {seq} outside 0..{self.n_segments - 1}")
+        if seq in self._acked:
+            raise ReproError(f"segment {seq} already acknowledged")
+        if seq == self._next_new:
+            self._next_new += 1
+        self._in_flight[seq] = now_ns
+
+    def on_ack(self, ack: AckInfo) -> int:
+        """Apply an acknowledgement; returns how many segments it newly
+        acknowledged."""
+        newly = 0
+        for seq in range(min(ack.cumulative, self.n_segments)):
+            if seq not in self._acked:
+                self._acked.add(seq)
+                self._in_flight.pop(seq, None)
+                newly += 1
+        base = ack.cumulative + 1
+        for offset in range(SACK_WINDOW):
+            if ack.sack_bitmap >> offset & 1:
+                seq = base + offset
+                if seq < self.n_segments and seq not in self._acked:
+                    self._acked.add(seq)
+                    self._in_flight.pop(seq, None)
+                    newly += 1
+        return newly
+
+    def next_timeout_ns(self, now_ns: int) -> Optional[int]:
+        """When the earliest in-flight segment will become retransmittable
+        (``None`` if nothing is in flight)."""
+        if not self._in_flight:
+            return None
+        oldest = min(self._in_flight.values())
+        return max(now_ns, oldest + self.rto_ns)
+
+
+class ReliableReceiver:
+    """Receive-side segment tracking and ACK generation for one flow."""
+
+    def __init__(self, n_segments: int) -> None:
+        if n_segments < 1:
+            raise ReproError(f"need at least one segment, got {n_segments}")
+        self.n_segments = n_segments
+        self._received: Set[int] = set()
+        self._cumulative = 0
+        self.duplicates = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when every segment has arrived."""
+        return self._cumulative == self.n_segments
+
+    @property
+    def cumulative(self) -> int:
+        """All segments below this index have been received in order."""
+        return self._cumulative
+
+    def on_segment(self, seq: int) -> bool:
+        """Record an arriving segment; returns False for duplicates."""
+        if not (0 <= seq < self.n_segments):
+            raise ReproError(f"segment {seq} outside 0..{self.n_segments - 1}")
+        if seq < self._cumulative or seq in self._received:
+            self.duplicates += 1
+            return False
+        self._received.add(seq)
+        while self._cumulative in self._received:
+            self._received.discard(self._cumulative)
+            self._cumulative += 1
+        return True
+
+    def ack_info(self) -> AckInfo:
+        """The ACK describing the current receive state."""
+        bitmap = 0
+        base = self._cumulative + 1
+        for seq in self._received:
+            offset = seq - base
+            if 0 <= offset < SACK_WINDOW:
+                bitmap |= 1 << offset
+        return AckInfo(cumulative=self._cumulative, sack_bitmap=bitmap)

@@ -1,0 +1,388 @@
+"""R2C2 packet formats (paper §4.2, Figure 6).
+
+Two packet classes exist on the wire:
+
+* **Data packets** are variable sized: a 35-byte header (route length and
+  index, flow id, endpoints, sequence number, checksum, payload length and
+  the 128-bit source route) followed by the payload.
+* **Broadcast packets** are fixed 16-byte packets announcing flow events.
+
+Layout of the broadcast packet (16 bytes)::
+
+    type:4 event:4 | src:16 | dst:16 | flow:32 | weight:8 | priority:8 |
+    demand_mbps:24 | tree:4 rp:4 | checksum:8
+
+Deviation from the paper, documented: the paper's broadcast packet carries a
+16-bit checksum and no flow identifier (flows are implicitly keyed by the
+endpoint pair); we spend one checksum byte on distinguishing concurrent
+flows between the same endpoints, and carry demand in Mbps over 24 bits
+(max ≈16.7 Tbps, comfortably covering the paper's 4 Tbps ceiling).
+
+A third, small format carries the §3.4 routing re-assignments: 4-byte flow
+id plus 1-byte protocol per entry, ≈300 entries per 1500-byte packet.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import WireFormatError
+from ..types import FlowId, NodeId
+from .checksum import internet_checksum, xor8
+from .route_encoding import MAX_HOPS, ROUTE_FIELD_BYTES, pack_route, unpack_route
+
+#: Packet type codes (the high nibble of the first byte).
+TYPE_DATA = 0x1
+TYPE_BROADCAST = 0x2
+TYPE_ROUTE_UPDATE = 0x3
+TYPE_DROP_NOTIFICATION = 0x4
+
+#: Broadcast event codes (the low nibble of the first byte).
+EVENT_FLOW_START = 0x1
+EVENT_FLOW_FINISH = 0x2
+EVENT_DEMAND_UPDATE = 0x3
+EVENT_REANNOUNCE = 0x4
+
+#: Fixed sizes.
+BROADCAST_PACKET_SIZE = 16
+DATA_HEADER_SIZE = 35
+
+_DATA_HEADER_FMT = ">BBBIHHIHH16s"  # type, rlen, ridx, flow, src, dst, seq, csum, plen, route
+assert struct.calcsize(_DATA_HEADER_FMT) == DATA_HEADER_SIZE
+
+_BROADCAST_FMT = ">BHHIBB3sBB"
+assert struct.calcsize(_BROADCAST_FMT) == BROADCAST_PACKET_SIZE
+
+#: Demand value meaning "network limited / unknown" (all ones).
+_DEMAND_INF_MBPS = (1 << 24) - 1
+#: Weight quantization: weights are carried as a byte with 1 <=> 16 units,
+#: giving a range of 1/16 .. 15.9375 in steps of 1/16.
+_WEIGHT_SCALE = 16.0
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """A source-routed data packet.
+
+    ``route_ports`` holds the full port list; ``route_index`` is the hop the
+    packet is about to take (incremented by every forwarder).
+    """
+
+    flow_id: FlowId
+    src: NodeId
+    dst: NodeId
+    seq: int
+    route_ports: Tuple[int, ...]
+    route_index: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        """Serialize header plus payload, computing the checksum."""
+        if not (0 <= self.route_index <= len(self.route_ports) <= MAX_HOPS):
+            raise WireFormatError(
+                f"route index {self.route_index} / length {len(self.route_ports)} invalid"
+            )
+        if len(self.payload) > 0xFFFF:
+            raise WireFormatError(f"payload of {len(self.payload)} bytes exceeds 64 KiB")
+        _check_u16("src", self.src)
+        _check_u16("dst", self.dst)
+        _check_u32("flow_id", self.flow_id)
+        _check_u32("seq", self.seq)
+        route_field = pack_route(self.route_ports)
+        header = struct.pack(
+            _DATA_HEADER_FMT,
+            (TYPE_DATA << 4),
+            len(self.route_ports),
+            self.route_index,
+            self.flow_id,
+            self.src,
+            self.dst,
+            self.seq,
+            0,  # checksum placeholder
+            len(self.payload),
+            route_field,
+        )
+        # The checksum excludes the route-index byte (offset 2) as well as
+        # itself: forwarders increment ridx in place at every hop (§3.5) and
+        # must not have to touch the checksum — the same rule IP applies to
+        # TTL-excluding header checksums.  The checksum field sits at byte
+        # offset 15 (after type, rlen, ridx, flow, src, dst, seq).
+        coverage = header[:2] + b"\x00" + header[3:] + self.payload
+        checksum = internet_checksum(coverage)
+        return header[:15] + struct.pack(">H", checksum) + header[17:] + self.payload
+
+    @staticmethod
+    def decode(buffer: bytes, verify_checksum: bool = True) -> "DataPacket":
+        """Parse and (optionally) checksum-verify a data packet."""
+        if len(buffer) < DATA_HEADER_SIZE:
+            raise WireFormatError(
+                f"buffer of {len(buffer)} bytes shorter than data header"
+            )
+        (
+            type_byte,
+            rlen,
+            ridx,
+            flow_id,
+            src,
+            dst,
+            seq,
+            checksum,
+            plen,
+            route_field,
+        ) = struct.unpack(_DATA_HEADER_FMT, buffer[:DATA_HEADER_SIZE])
+        if (type_byte >> 4) != TYPE_DATA:
+            raise WireFormatError(f"not a data packet (type {type_byte >> 4})")
+        if len(buffer) != DATA_HEADER_SIZE + plen:
+            raise WireFormatError(
+                f"length mismatch: header says {plen} payload bytes, "
+                f"buffer has {len(buffer) - DATA_HEADER_SIZE}"
+            )
+        if ridx > rlen or rlen > MAX_HOPS:
+            raise WireFormatError(f"invalid route fields rlen={rlen} ridx={ridx}")
+        if verify_checksum:
+            zeroed = buffer[:2] + b"\x00" + buffer[3:15] + b"\x00\x00" + buffer[17:]
+            if internet_checksum(zeroed) != checksum:
+                raise WireFormatError("data packet checksum mismatch")
+        return DataPacket(
+            flow_id=flow_id,
+            src=src,
+            dst=dst,
+            seq=seq,
+            route_ports=tuple(unpack_route(route_field, rlen)),
+            route_index=ridx,
+            payload=buffer[DATA_HEADER_SIZE:],
+        )
+
+    def advance(self) -> "DataPacket":
+        """The packet as re-emitted by a forwarder: route index + 1."""
+        if self.route_index >= len(self.route_ports):
+            raise WireFormatError("cannot advance past the end of the route")
+        return DataPacket(
+            flow_id=self.flow_id,
+            src=self.src,
+            dst=self.dst,
+            seq=self.seq,
+            route_ports=self.route_ports,
+            route_index=self.route_index + 1,
+            payload=self.payload,
+        )
+
+    @property
+    def next_port(self) -> int:
+        """The port this packet leaves on at the current hop."""
+        if self.route_index >= len(self.route_ports):
+            raise WireFormatError("packet is at its destination; no next port")
+        return self.route_ports[self.route_index]
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire."""
+        return DATA_HEADER_SIZE + len(self.payload)
+
+
+@dataclass(frozen=True)
+class BroadcastPacket:
+    """The fixed 16-byte flow-event announcement."""
+
+    event: int
+    src: NodeId
+    dst: NodeId
+    flow_id: FlowId
+    weight: float = 1.0
+    priority: int = 0
+    demand_bps: float = math.inf
+    tree_id: int = 0
+    protocol_id: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize into exactly 16 bytes."""
+        if self.event not in (
+            EVENT_FLOW_START,
+            EVENT_FLOW_FINISH,
+            EVENT_DEMAND_UPDATE,
+            EVENT_REANNOUNCE,
+        ):
+            raise WireFormatError(f"unknown broadcast event {self.event}")
+        _check_u16("src", self.src)
+        _check_u16("dst", self.dst)
+        _check_u32("flow_id", self.flow_id)
+        if not (0 <= self.priority <= 0xFF):
+            raise WireFormatError(f"priority {self.priority} does not fit one byte")
+        if not (0 <= self.tree_id <= 0xF):
+            raise WireFormatError(f"tree id {self.tree_id} does not fit four bits")
+        if not (0 <= self.protocol_id <= 0xF):
+            raise WireFormatError(f"protocol id {self.protocol_id} does not fit four bits")
+        weight_q = round(self.weight * _WEIGHT_SCALE)
+        if not (1 <= weight_q <= 0xFF):
+            raise WireFormatError(
+                f"weight {self.weight} outside encodable range "
+                f"[{1 / _WEIGHT_SCALE}, {0xFF / _WEIGHT_SCALE}]"
+            )
+        if math.isinf(self.demand_bps):
+            demand_mbps = _DEMAND_INF_MBPS
+        else:
+            demand_mbps = int(round(self.demand_bps / 1e6))
+            if not (0 <= demand_mbps < _DEMAND_INF_MBPS):
+                raise WireFormatError(
+                    f"demand {self.demand_bps} bps outside 24-bit Mbps range"
+                )
+        body = struct.pack(
+            _BROADCAST_FMT,
+            (TYPE_BROADCAST << 4) | self.event,
+            self.src,
+            self.dst,
+            self.flow_id,
+            weight_q,
+            self.priority,
+            demand_mbps.to_bytes(3, "big"),
+            (self.tree_id << 4) | self.protocol_id,
+            0,  # checksum placeholder
+        )
+        return body[:-1] + bytes([xor8(body[:-1])])
+
+    @staticmethod
+    def decode(buffer: bytes, verify_checksum: bool = True) -> "BroadcastPacket":
+        """Parse and (optionally) checksum-verify a broadcast packet."""
+        if len(buffer) != BROADCAST_PACKET_SIZE:
+            raise WireFormatError(
+                f"broadcast packets are {BROADCAST_PACKET_SIZE} bytes, got {len(buffer)}"
+            )
+        (
+            type_event,
+            src,
+            dst,
+            flow_id,
+            weight_q,
+            priority,
+            demand_bytes,
+            tree_rp,
+            checksum,
+        ) = struct.unpack(_BROADCAST_FMT, buffer)
+        if (type_event >> 4) != TYPE_BROADCAST:
+            raise WireFormatError(f"not a broadcast packet (type {type_event >> 4})")
+        if verify_checksum and xor8(buffer[:-1]) != checksum:
+            raise WireFormatError("broadcast packet checksum mismatch")
+        demand_mbps = int.from_bytes(demand_bytes, "big")
+        demand_bps = (
+            math.inf if demand_mbps == _DEMAND_INF_MBPS else demand_mbps * 1e6
+        )
+        return BroadcastPacket(
+            event=type_event & 0xF,
+            src=src,
+            dst=dst,
+            flow_id=flow_id,
+            weight=weight_q / _WEIGHT_SCALE,
+            priority=priority,
+            demand_bps=demand_bps,
+            tree_id=tree_rp >> 4,
+            protocol_id=tree_rp & 0xF,
+        )
+
+
+@dataclass(frozen=True)
+class RouteUpdatePacket:
+    """Routing re-assignments from the selection process (§3.4).
+
+    Each entry is a ``(flow_id, protocol_id)`` pair costing five bytes;
+    about 300 fit in a 1500-byte packet, matching the paper's estimate.
+    """
+
+    assignments: Tuple[Tuple[FlowId, int], ...]
+
+    #: type(1) + count(2) + checksum(2)
+    HEADER_SIZE = 5
+    ENTRY_SIZE = 5
+    MAX_ENTRIES = (1500 - HEADER_SIZE) // ENTRY_SIZE
+
+    def encode(self) -> bytes:
+        if len(self.assignments) > self.MAX_ENTRIES:
+            raise WireFormatError(
+                f"{len(self.assignments)} assignments exceed the "
+                f"{self.MAX_ENTRIES}-entry packet limit"
+            )
+        parts = [struct.pack(">BHH", TYPE_ROUTE_UPDATE << 4, len(self.assignments), 0)]
+        for flow_id, protocol_id in self.assignments:
+            _check_u32("flow_id", flow_id)
+            if not (0 <= protocol_id <= 0xFF):
+                raise WireFormatError(f"protocol id {protocol_id} does not fit a byte")
+            parts.append(struct.pack(">IB", flow_id, protocol_id))
+        raw = b"".join(parts)
+        checksum = internet_checksum(raw)
+        return raw[:3] + struct.pack(">H", checksum) + raw[5:]
+
+    @staticmethod
+    def decode(buffer: bytes, verify_checksum: bool = True) -> "RouteUpdatePacket":
+        if len(buffer) < RouteUpdatePacket.HEADER_SIZE:
+            raise WireFormatError("route-update packet too short")
+        type_byte, count, checksum = struct.unpack(">BHH", buffer[:5])
+        if (type_byte >> 4) != TYPE_ROUTE_UPDATE:
+            raise WireFormatError(f"not a route-update packet (type {type_byte >> 4})")
+        expected = RouteUpdatePacket.HEADER_SIZE + count * RouteUpdatePacket.ENTRY_SIZE
+        if len(buffer) != expected:
+            raise WireFormatError(
+                f"route-update length mismatch: expected {expected}, got {len(buffer)}"
+            )
+        if verify_checksum:
+            zeroed = buffer[:3] + b"\x00\x00" + buffer[5:]
+            if internet_checksum(zeroed) != checksum:
+                raise WireFormatError("route-update checksum mismatch")
+        assignments = []
+        offset = 5
+        for _ in range(count):
+            flow_id, protocol_id = struct.unpack_from(">IB", buffer, offset)
+            assignments.append((flow_id, protocol_id))
+            offset += RouteUpdatePacket.ENTRY_SIZE
+        return RouteUpdatePacket(assignments=tuple(assignments))
+
+
+@dataclass(frozen=True)
+class DropNotificationPacket:
+    """A forwarder informing a broadcast's source of a queue-overflow drop."""
+
+    dropped_at: NodeId
+    source: NodeId
+    seq: int
+
+    SIZE = 10  # type(1) + dropped_at(2) + source(2) + seq(4) + checksum(1)
+
+    def encode(self) -> bytes:
+        _check_u16("dropped_at", self.dropped_at)
+        _check_u16("source", self.source)
+        _check_u32("seq", self.seq)
+        body = struct.pack(
+            ">BHHIB", TYPE_DROP_NOTIFICATION << 4, self.dropped_at, self.source, self.seq, 0
+        )
+        return body[:-1] + bytes([xor8(body[:-1])])
+
+    @staticmethod
+    def decode(buffer: bytes, verify_checksum: bool = True) -> "DropNotificationPacket":
+        if len(buffer) != DropNotificationPacket.SIZE:
+            raise WireFormatError(
+                f"drop notifications are {DropNotificationPacket.SIZE} bytes"
+            )
+        type_byte, dropped_at, source, seq, checksum = struct.unpack(">BHHIB", buffer)
+        if (type_byte >> 4) != TYPE_DROP_NOTIFICATION:
+            raise WireFormatError("not a drop-notification packet")
+        if verify_checksum and xor8(buffer[:-1]) != checksum:
+            raise WireFormatError("drop-notification checksum mismatch")
+        return DropNotificationPacket(dropped_at=dropped_at, source=source, seq=seq)
+
+
+def packet_type(buffer: bytes) -> int:
+    """The type code of any encoded packet (dispatch helper)."""
+    if not buffer:
+        raise WireFormatError("empty buffer")
+    return buffer[0] >> 4
+
+
+def _check_u16(name: str, value: int) -> None:
+    if not (0 <= value <= 0xFFFF):
+        raise WireFormatError(f"{name} {value} does not fit 16 bits")
+
+
+def _check_u32(name: str, value: int) -> None:
+    if not (0 <= value <= 0xFFFFFFFF):
+        raise WireFormatError(f"{name} {value} does not fit 32 bits")

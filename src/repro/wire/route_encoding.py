@@ -1,0 +1,64 @@
+"""Source-route encoding: 3 bits per hop, up to 42 hops (paper §4.2).
+
+The data-packet header carries a 128-bit ``route`` field; each hop consumes
+3 bits selecting one of up to eight outgoing links (ports) at the current
+node.  42 hops fit, "sufficient for current rack-scale computers and even
+non-minimal routing strategies".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import WireFormatError
+
+#: Bits used to select the forwarding port at each hop.
+PORT_BITS = 3
+#: Highest port expressible per hop.
+MAX_PORT = (1 << PORT_BITS) - 1
+#: The route field is 128 bits.
+ROUTE_FIELD_BYTES = 16
+#: Maximum encodable hop count: floor(128 / 3).
+MAX_HOPS = (ROUTE_FIELD_BYTES * 8) // PORT_BITS
+
+
+def pack_route(ports: Sequence[int]) -> bytes:
+    """Pack a port list into the fixed 16-byte route field.
+
+    Ports are packed little-endian-first: hop *i* occupies bits
+    ``[3i, 3i+3)`` of the field, so forwarding can extract its port with a
+    shift and mask using the header's route index.
+    """
+    if len(ports) > MAX_HOPS:
+        raise WireFormatError(
+            f"route of {len(ports)} hops exceeds the {MAX_HOPS}-hop limit"
+        )
+    acc = 0
+    for i, port in enumerate(ports):
+        if not (0 <= port <= MAX_PORT):
+            raise WireFormatError(
+                f"port {port} at hop {i} does not fit {PORT_BITS} bits "
+                f"(nodes may have at most {MAX_PORT + 1} links)"
+            )
+        acc |= port << (PORT_BITS * i)
+    return acc.to_bytes(ROUTE_FIELD_BYTES, "little")
+
+
+def unpack_route(field: bytes, n_hops: int) -> List[int]:
+    """Unpack the first *n_hops* ports from a 16-byte route field."""
+    if len(field) != ROUTE_FIELD_BYTES:
+        raise WireFormatError(
+            f"route field must be {ROUTE_FIELD_BYTES} bytes, got {len(field)}"
+        )
+    if not (0 <= n_hops <= MAX_HOPS):
+        raise WireFormatError(f"hop count {n_hops} outside 0..{MAX_HOPS}")
+    acc = int.from_bytes(field, "little")
+    return [(acc >> (PORT_BITS * i)) & MAX_PORT for i in range(n_hops)]
+
+
+def port_at(field: bytes, index: int) -> int:
+    """Extract a single hop's port — what a forwarding node does per packet."""
+    if not (0 <= index < MAX_HOPS):
+        raise WireFormatError(f"route index {index} outside 0..{MAX_HOPS - 1}")
+    acc = int.from_bytes(field, "little")
+    return (acc >> (PORT_BITS * index)) & MAX_PORT

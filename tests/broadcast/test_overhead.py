@@ -1,0 +1,104 @@
+"""Tests for the analytic overhead models against the paper's numbers."""
+
+import pytest
+
+from repro.broadcast import (
+    ControlTrafficModel,
+    all_pairs_broadcast_bytes_per_link,
+    broadcast_bytes_total,
+    broadcast_capacity_fraction,
+    flow_event_overhead,
+    flow_wire_bytes,
+)
+from repro.errors import BroadcastError
+from repro.topology import TorusTopology
+
+
+class TestPaperClaims:
+    def test_8kb_per_broadcast(self):
+        # §3.2: "a single broadcast results in a total of 511*16 ≈ 8 KB".
+        assert broadcast_bytes_total(512) == 511 * 16
+        assert broadcast_bytes_total(512) == pytest.approx(8176)
+
+    def test_26_percent_overhead_for_10kb_flows(self):
+        # §3.2: a 10 KB flow (6-hop average) costs 26.66% to announce.
+        overhead = flow_event_overhead(10 * 1024, 512, avg_hops=6.0)
+        assert overhead == pytest.approx(0.2666, abs=0.0045)
+
+    def test_10mb_flow_overhead_tiny(self):
+        # §5.1: "For 10 MB flows ... the overhead would just be 0.026%".
+        overhead = flow_event_overhead(10 * 1024 * 1024, 512, avg_hops=6.0)
+        assert overhead == pytest.approx(0.00026, rel=0.05)
+
+    def test_1_3_percent_capacity_at_5_percent_small_bytes(self):
+        # §3.2 / Figure 9: 5% of bytes in small flows -> ~1.3% of capacity.
+        fraction = broadcast_capacity_fraction(0.05, 512, avg_hops=6.0)
+        assert fraction == pytest.approx(0.013, abs=0.002)
+
+    def test_all_pairs_681kb_per_link(self):
+        # §3.2: all-pairs flows -> 681 KB of broadcast traffic per link.
+        topo = TorusTopology((8, 8, 8))
+        per_link = all_pairs_broadcast_bytes_per_link(topo)
+        assert per_link == pytest.approx(681_000, rel=0.04)
+
+    def test_clos_broadcast_cost(self):
+        # §6: two-level folded Clos, 512 hosts, 32-port switches: ~8.7 KB.
+        from repro.topology import FoldedClosTopology
+
+        topo = FoldedClosTopology(512, radix=32)
+        assert broadcast_bytes_total(topo.n_nodes) == pytest.approx(8700, rel=0.03)
+
+
+class TestModelShape:
+    def test_linear_in_small_byte_fraction(self):
+        points = [
+            broadcast_capacity_fraction(f, 512, 6.0) for f in (0.1, 0.2, 0.4)
+        ]
+        # Approximately linear: doubling the small-byte share doubles the
+        # broadcast share (to first order).
+        assert points[1] == pytest.approx(2 * points[0], rel=0.1)
+        assert points[2] == pytest.approx(2 * points[1], rel=0.1)
+
+    def test_larger_diameter_lowers_overhead(self):
+        # Figure 9: 3D mesh and 2D torus (longer average paths) sit below
+        # the 3D torus curve.
+        torus3d_hops = TorusTopology((8, 8, 8)).average_distance()
+        torus2d_hops = TorusTopology((16, 32)).average_distance()
+        assert torus2d_hops > torus3d_hops
+        f3d = broadcast_capacity_fraction(0.2, 512, torus3d_hops)
+        f2d = broadcast_capacity_fraction(0.2, 512, torus2d_hops)
+        assert f2d < f3d
+
+    def test_validation(self):
+        with pytest.raises(BroadcastError):
+            broadcast_capacity_fraction(1.5, 512, 6.0)
+        with pytest.raises(BroadcastError):
+            flow_wire_bytes(100, 0)
+        with pytest.raises(BroadcastError):
+            broadcast_bytes_total(0)
+
+
+class TestControlTraffic:
+    def test_decentralized_constant_in_flows(self):
+        model = ControlTrafficModel(512, avg_hops=6.0)
+        assert model.decentralized_bytes_per_event() == 511 * 16
+        # Independent of concurrency by construction.
+        assert model.ratio(10) > model.ratio(1)
+
+    def test_centralized_grows_linearly(self):
+        model = ControlTrafficModel(512, avg_hops=6.0)
+        c1 = model.centralized_bytes_per_event(1)
+        c10 = model.centralized_bytes_per_event(10)
+        # One rate entry per extra flow per node.
+        expected_growth = 9 * model.rate_entry_bytes * 511 * 6.0
+        assert c10 - c1 == pytest.approx(expected_growth)
+
+    def test_paper_6x_ratio_at_one_flow(self):
+        # §5.2: "the centralized design generates 6.2x more traffic" at one
+        # concurrent flow per server.  Our byte model lands near 6x.
+        model = ControlTrafficModel(512, avg_hops=6.0)
+        assert model.ratio(1) == pytest.approx(6.2, abs=0.4)
+
+    def test_negative_flows_rejected(self):
+        with pytest.raises(BroadcastError):
+            ControlTrafficModel(512, 6.0).centralized_bytes_per_event(-1)

@@ -1,0 +1,103 @@
+"""Tests for broadcast reliability bookkeeping."""
+
+import pytest
+
+from repro.broadcast import (
+    BroadcastForwarderReliability,
+    BroadcastSenderReliability,
+    FailureRecovery,
+)
+from repro.errors import BroadcastError
+
+
+class TestSenderReliability:
+    def test_register_assigns_sequential_seqs(self):
+        sender = BroadcastSenderReliability()
+        assert sender.register(b"a", 0) == 0
+        assert sender.register(b"b", 1) == 1
+        assert sender.pending_count() == 2
+
+    def test_drop_notification_returns_payload(self):
+        sender = BroadcastSenderReliability()
+        seq = sender.register(b"payload", 2)
+        entry = sender.on_drop_notification(seq)
+        assert entry is not None
+        assert entry.payload == b"payload"
+        assert entry.tree_id == 2
+        assert entry.retransmits == 1
+
+    def test_retransmit_budget(self):
+        sender = BroadcastSenderReliability(max_retransmits=2)
+        seq = sender.register(b"x", 0)
+        assert sender.on_drop_notification(seq) is not None
+        assert sender.on_drop_notification(seq) is not None
+        assert sender.on_drop_notification(seq) is None  # budget exhausted
+        assert sender.pending_count() == 0
+
+    def test_replay_window_eviction(self):
+        sender = BroadcastSenderReliability(replay_window=3)
+        seqs = [sender.register(bytes([i]), 0) for i in range(5)]
+        assert sender.pending_count() == 3
+        assert sender.on_drop_notification(seqs[0]) is None  # evicted
+        assert sender.on_drop_notification(seqs[4]) is not None
+
+    def test_acknowledge_window(self):
+        sender = BroadcastSenderReliability()
+        for i in range(4):
+            sender.register(bytes([i]), 0)
+        sender.acknowledge_window(2)
+        assert sender.pending_count() == 1
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(BroadcastError):
+            BroadcastSenderReliability(replay_window=0)
+
+
+class TestForwarderReliability:
+    def test_drop_notification_content(self):
+        fwd = BroadcastForwarderReliability(node=7)
+        note = fwd.on_queue_overflow(source=3, seq=42)
+        assert note.dropped_at == 7
+        assert note.source == 3
+        assert note.seq == 42
+        assert fwd.drops_reported == 1
+
+    def test_corruption_counted(self):
+        fwd = BroadcastForwarderReliability(node=1)
+        fwd.on_corrupt_packet()
+        fwd.on_corrupt_packet()
+        assert fwd.corruptions_detected == 2
+
+
+class TestFailureRecovery:
+    def test_link_failure_reported_once(self):
+        rec = FailureRecovery()
+        assert rec.on_link_failure(0, 1)
+        assert not rec.on_link_failure(0, 1)
+        assert (0, 1) in rec.failed_links
+
+    def test_node_failure_and_recovery(self):
+        rec = FailureRecovery()
+        assert rec.on_node_failure(5)
+        assert not rec.on_node_failure(5)
+        rec.on_recovery(node=5)
+        assert 5 not in rec.failed_nodes
+
+    def test_link_recovery(self):
+        rec = FailureRecovery()
+        rec.on_link_failure(0, 1)
+        rec.on_recovery(src=0, dst=1)
+        assert rec.failed_links == set()
+
+    def test_reannounce_returns_all_local_flows(self):
+        rec = FailureRecovery()
+        flows = ["f1", "f2"]
+        assert rec.flows_to_reannounce(flows) == flows
+        assert rec.reannounce_count == 1
+
+    def test_paper_failure_rate_estimate(self):
+        # §3.2: 512 nodes x 4 CPUs x 0.3 faults/year -> "less than two
+        # failures a day".
+        rec = FailureRecovery()
+        per_day = rec.expected_failures_per_day(512, cpus_per_node=4)
+        assert 1.0 < per_day < 2.0

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (4x4 torus and friends) so the whole suite
+stays fast; scale-sensitive checks live in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.congestion.linkweights import WeightProvider
+from repro.topology import (
+    FoldedClosTopology,
+    GraphTopology,
+    HypercubeTopology,
+    MeshTopology,
+    TorusTopology,
+)
+
+
+@pytest.fixture
+def torus2d():
+    """4x4 2D torus (the Figure 7 cross-validation topology, scaled)."""
+    return TorusTopology((4, 4))
+
+
+@pytest.fixture
+def torus3d():
+    """4x4x4 3D torus (the evaluation topology family, scaled)."""
+    return TorusTopology((4, 4, 4))
+
+
+@pytest.fixture
+def mesh2d():
+    """4x4 2D mesh (no wraparound)."""
+    return MeshTopology((4, 4))
+
+
+@pytest.fixture
+def hypercube():
+    """16-node binary hypercube."""
+    return HypercubeTopology(4)
+
+
+@pytest.fixture
+def clos():
+    """Small folded Clos: 16 hosts on radix-8 switches."""
+    return FoldedClosTopology(16, radix=8)
+
+
+@pytest.fixture
+def line3():
+    """0 - 1 - 2 path graph; the smallest multi-hop topology."""
+    return GraphTopology(3, [(0, 1), (1, 2)], name="line3")
+
+
+@pytest.fixture
+def fig4_topology():
+    """The paper's Figure 4 example graph (capacity 1 for easy numbers).
+
+    Node ids map the figure's 1..4 to 0..3; undirected links 1-4, 1-3,
+    3-4 and 2-3.
+    """
+    return GraphTopology(
+        4, [(0, 3), (0, 2), (2, 3), (1, 2)], capacity_bps=1.0, latency_ns=0
+    )
+
+
+@pytest.fixture
+def provider(torus2d):
+    """A weight provider on the 2D torus."""
+    return WeightProvider(torus2d)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for sampling tests."""
+    return random.Random(1234)

@@ -1,0 +1,154 @@
+"""Tests for the per-node control plane and the Rack facade."""
+
+import math
+
+import pytest
+
+from repro.core import R2C2Config, Rack
+from repro.errors import ReproError
+from repro.types import usec
+
+
+class TestRackFlows:
+    def test_tables_converge(self, torus2d):
+        rack = Rack(torus2d)
+        rack.start_flow(0, 5)
+        rack.start_flow(3, 9, protocol="vlb", weight=2.0)
+        assert rack.tables_consistent()
+        assert len(rack.active_flows()) == 2
+
+    def test_rates_respect_weights(self, torus2d):
+        rack = Rack(torus2d)
+        a = rack.start_flow(0, 5, weight=1.0)
+        b = rack.start_flow(0, 5, weight=3.0)
+        rack.recompute_all()
+        rates = rack.rates()
+        assert rates[b] / rates[a] == pytest.approx(3.0)
+
+    def test_finish_removes_everywhere(self, torus2d):
+        rack = Rack(torus2d)
+        fid = rack.start_flow(0, 5)
+        rack.finish_flow(fid)
+        assert rack.tables_consistent()
+        assert rack.active_flows() == []
+
+    def test_self_flow_rejected(self, torus2d):
+        with pytest.raises(ReproError):
+            Rack(torus2d).start_flow(2, 2)
+
+    def test_unknown_flow_rejected(self, torus2d):
+        with pytest.raises(ReproError):
+            Rack(torus2d).finish_flow(99)
+
+    def test_demand_update_propagates(self, torus2d):
+        rack = Rack(torus2d)
+        fid = rack.start_flow(0, 5)
+        rack.update_demand(fid, 1e9)
+        for node in rack.nodes:
+            assert node.controller.table.get(fid).demand_bps == pytest.approx(1e9)
+        rack.recompute_all()
+        assert rack.rate_of(fid) == pytest.approx(1e9)
+
+    def test_weight_quantization_consistent(self, torus2d):
+        # Weights cross the wire as sixteenths; every node (including the
+        # sender, which keeps the exact value) must compute the same rates,
+        # so the wire round-trip must be lossless for representable values.
+        rack = Rack(torus2d)
+        fid = rack.start_flow(0, 5, weight=2.5)
+        views = {node.controller.table.get(fid).weight for node in rack.nodes}
+        assert views == {2.5}
+
+    def test_control_bytes_accounted(self, torus2d):
+        rack = Rack(torus2d)
+        rack.start_flow(0, 5)
+        assert rack.control_bytes_on_wire == 15 * 16
+
+
+class TestEpochs:
+    def test_advance_time_triggers_epochs(self, torus2d):
+        rack = Rack(torus2d, R2C2Config(recompute_interval_ns=usec(100)))
+        fid = rack.start_flow(0, 5)
+        allocations = rack.advance_time(usec(100))
+        assert len(allocations) == torus2d.n_nodes
+        assert rack.rate_of(fid) > 0
+
+    def test_no_epoch_before_interval(self, torus2d):
+        rack = Rack(torus2d, R2C2Config(recompute_interval_ns=usec(100)))
+        rack.start_flow(0, 5)
+        assert rack.advance_time(usec(50)) == []
+
+    def test_time_cannot_reverse(self, torus2d):
+        with pytest.raises(ReproError):
+            Rack(torus2d).advance_time(-1)
+
+
+class TestRouteSelection:
+    def test_selection_improves_contended_workload(self, torus2d):
+        rack = Rack(torus2d)
+        # Several flows converging on node 5 — minimal routing collides.
+        for src in (0, 1, 2, 4):
+            rack.start_flow(src, 5)
+        before = rack.recompute_all().aggregate_throughput_bps()
+        improvement = rack.select_routes()
+        after = rack.recompute_all().aggregate_throughput_bps()
+        assert rack.tables_consistent()
+        if improvement > 0:
+            assert after > before
+
+    def test_no_flows_is_noop(self, torus2d):
+        assert Rack(torus2d).select_routes() == 0.0
+
+    def test_protocol_updates_propagate(self, torus2d):
+        rack = Rack(torus2d)
+        for src in (0, 1, 2, 4):
+            rack.start_flow(src, 5)
+        rack.select_routes(min_improvement=0.0)
+        protocols = [
+            tuple(s.protocol for s in node.controller.table.snapshot())
+            for node in rack.nodes
+        ]
+        assert len(set(protocols)) == 1  # every node agrees
+
+
+class TestFailures:
+    def test_reannounce_after_link_failure(self, torus2d):
+        rack = Rack(torus2d)
+        rack.start_flow(0, 5)
+        rack.start_flow(3, 9)
+        count = rack.inject_link_failure(1, 2)
+        assert count == 2  # one re-announce per ongoing flow
+        assert rack.tables_consistent()
+
+    def test_failure_recorded_everywhere(self, torus2d):
+        rack = Rack(torus2d)
+        rack.inject_link_failure(0, 1)
+        for node in rack.nodes:
+            assert (0, 1) in node.failure_recovery.failed_links
+
+
+class TestNodeWire:
+    def test_start_flow_emits_valid_broadcast(self, torus2d):
+        from repro.wire import BroadcastPacket, EVENT_FLOW_START
+
+        rack = Rack(torus2d)
+        packet_bytes = rack.nodes[0].start_flow(42, 5, protocol="vlb", weight=2.0)
+        packet = BroadcastPacket.decode(packet_bytes)
+        assert packet.event == EVENT_FLOW_START
+        assert packet.flow_id == 42
+        assert packet.src == 0 and packet.dst == 5
+        assert packet.protocol_id == 2  # vlb
+        assert math.isinf(packet.demand_bps)
+
+    def test_own_broadcast_echo_ignored(self, torus2d):
+        rack = Rack(torus2d)
+        node = rack.nodes[0]
+        data = node.start_flow(1, 5)
+        before = node.controller.table.generation
+        node.handle_broadcast(data)  # echo back to the sender
+        assert node.controller.table.generation == before
+
+    def test_finish_requires_local_flow(self, torus2d):
+        rack = Rack(torus2d)
+        rack.start_flow(0, 5)
+        with pytest.raises(ReproError):
+            rack.nodes[3].finish_flow(0)  # node 3 is not the sender

@@ -1,0 +1,229 @@
+"""Tests for the inter-rack extension (§6)."""
+
+import random
+
+import pytest
+
+from repro.congestion import FlowSpec, WeightProvider, waterfill
+from repro.errors import RoutingError, TopologyError, WireFormatError
+from repro.interrack import (
+    ETHERNET_OVERHEAD_BYTES,
+    EthernetFrame,
+    HierarchicalRouting,
+    MultiRackFabric,
+    mac_for,
+    ring_of_racks,
+    switched_multirack,
+    tunnel_overhead_fraction,
+    tunnel_packet,
+    untunnel_packet,
+)
+from repro.topology import TorusTopology
+from repro.types import gbps
+from repro.wire import DataPacket
+
+
+@pytest.fixture
+def two_racks():
+    racks = [TorusTopology((4, 4)) for _ in range(2)]
+    return ring_of_racks(racks, cables_per_side=2, bridge_capacity_bps=gbps(40))
+
+
+class TestMultiRackFabric:
+    def test_id_arithmetic(self, two_racks):
+        assert two_racks.n_racks == 2
+        assert two_racks.rack_size == 16
+        assert two_racks.rack_of(0) == 0
+        assert two_racks.rack_of(17) == 1
+        assert two_racks.local_id(17) == 1
+        assert two_racks.global_id(1, 1) == 17
+
+    def test_bridge_links_have_their_own_capacity(self, two_racks):
+        bridges = two_racks.bridge_links()
+        assert len(bridges) == 4  # 2 cables x 2 directions
+        assert all(link.capacity_bps == gbps(40) for link in bridges)
+        # Fabric links keep the rack capacity.
+        intra = two_racks.link(0, 1)
+        assert intra.capacity_bps == gbps(10)
+
+    def test_gateways_of(self, two_racks):
+        gw0 = two_racks.gateways_of(0)
+        assert gw0 and all(two_racks.rack_of(g) == 0 for g in gw0)
+
+    def test_is_bridge_link(self, two_racks):
+        bridge = two_racks.bridge_links()[0]
+        assert two_racks.is_bridge_link(bridge.link_id)
+        assert not two_racks.is_bridge_link(two_racks.link_id(0, 1))
+
+    def test_oversubscription(self, two_racks):
+        # 16 nodes x 10G rack capacity vs 2 x 40G cables.
+        assert two_racks.oversubscription_ratio() == pytest.approx(2.0)
+
+    def test_connected_across_racks(self, two_racks):
+        assert two_racks.is_connected()
+        assert two_racks.distance(0, two_racks.global_id(1, 0)) >= 1
+
+    def test_validation(self):
+        rack = TorusTopology((4, 4))
+        with pytest.raises(TopologyError):
+            MultiRackFabric([rack], [(0, 0, 0, 1)])
+        with pytest.raises(TopologyError):
+            MultiRackFabric([rack, TorusTopology((4, 4))], [])
+        with pytest.raises(TopologyError):
+            MultiRackFabric(
+                [rack, TorusTopology((2, 2))], [(0, 0, 1, 0)]
+            )
+        with pytest.raises(TopologyError):
+            MultiRackFabric([rack, TorusTopology((4, 4))], [(0, 0, 0, 1)])
+
+    def test_three_rack_ring(self):
+        racks = [TorusTopology((3, 3)) for _ in range(3)]
+        fabric = ring_of_racks(racks, cables_per_side=1)
+        assert fabric.n_racks == 3
+        # Ring: every rack reaches every other.
+        assert fabric.is_connected()
+
+
+class TestHierarchicalRouting:
+    def test_requires_fabric(self, torus2d):
+        with pytest.raises(RoutingError):
+            HierarchicalRouting(torus2d)
+
+    def test_intra_rack_paths_minimal(self, two_racks, rng):
+        hier = HierarchicalRouting(two_racks)
+        path = hier.sample_path(0, 5, rng)
+        assert len(path) - 1 == two_racks.distance(0, 5)
+
+    def test_inter_rack_paths_cross_exactly_one_bridge(self, two_racks, rng):
+        hier = HierarchicalRouting(two_racks)
+        src, dst = 0, two_racks.global_id(1, 9)
+        for _ in range(20):
+            path = hier.sample_path(src, dst, rng)
+            assert path[0] == src and path[-1] == dst
+            crossings = sum(
+                1
+                for i in range(len(path) - 1)
+                if two_racks.rack_of(path[i]) != two_racks.rack_of(path[i + 1])
+            )
+            assert crossings == 1
+
+    def test_cables_load_balanced(self, two_racks, rng):
+        hier = HierarchicalRouting(two_racks)
+        src, dst = 0, two_racks.global_id(1, 9)
+        used = set()
+        for _ in range(60):
+            path = hier.sample_path(src, dst, rng)
+            for i in range(len(path) - 1):
+                link = two_racks.link_id(path[i], path[i + 1])
+                if two_racks.is_bridge_link(link):
+                    used.add(link)
+        assert len(used) == 2  # both parallel cables see traffic
+
+    def test_weights_unit_bridge_mass(self, two_racks):
+        hier = HierarchicalRouting(two_racks)
+        weights = hier.link_weights(0, two_racks.global_id(1, 9))
+        bridge_mass = sum(
+            w for link, w in weights.items() if two_racks.is_bridge_link(link)
+        )
+        assert bridge_mass == pytest.approx(1.0)
+
+    def test_multi_hop_rack_route(self):
+        # Three racks in a line (ring with 3 racks): 0 -> 2 goes via 1 or
+        # directly, depending on cabling; the route must still arrive.
+        racks = [TorusTopology((3, 3)) for _ in range(3)]
+        fabric = ring_of_racks(racks, cables_per_side=1)
+        hier = HierarchicalRouting(fabric)
+        rng = random.Random(0)
+        src, dst = 0, fabric.global_id(2, 4)
+        path = hier.sample_path(src, dst, rng)
+        assert path[-1] == dst
+        weights = hier.link_weights(src, dst)
+        assert sum(weights.values()) > 0
+
+    def test_waterfill_bridge_bottleneck(self, two_racks):
+        hier = HierarchicalRouting(two_racks)
+        provider = WeightProvider(two_racks, {"hier": hier})
+        inter = [
+            FlowSpec(i, two_racks.global_id(0, i), two_racks.global_id(1, i), "hier")
+            for i in range(8)
+        ]
+        intra = [FlowSpec(100, 0, 5, "hier")]
+        alloc = waterfill(two_racks, inter + intra, provider)
+        # Inter-rack flows share 2 x 40G of bridge capacity.
+        inter_total = sum(alloc.rates_bps[i] for i in range(8))
+        assert inter_total <= 2 * gbps(40) * 1.001
+        # The intra-rack flow is not bridge-constrained.
+        assert alloc.rates_bps[100] > max(alloc.rates_bps[i] for i in range(8))
+
+
+class TestTunnel:
+    def test_roundtrip(self):
+        packet = DataPacket(1, 5, 26, 0, (1, 2, 3), 0, b"hello").encode()
+        frame = tunnel_packet(packet, (0, 5), (1, 10))
+        assert untunnel_packet(frame) == packet
+        assert len(frame) == len(packet) + ETHERNET_OVERHEAD_BYTES
+
+    def test_fcs_detects_corruption(self):
+        packet = DataPacket(1, 5, 26, 0, (1, 2, 3), 0, b"hello").encode()
+        frame = bytearray(tunnel_packet(packet, (0, 5), (1, 10)))
+        frame[20] ^= 0xFF
+        with pytest.raises(WireFormatError):
+            untunnel_packet(bytes(frame))
+
+    def test_mac_encoding(self):
+        mac = mac_for(3, 500)
+        assert len(mac) == 6
+        assert mac[0] == 0x02  # locally administered
+        assert mac != mac_for(3, 501)
+        with pytest.raises(WireFormatError):
+            mac_for(70000, 0)
+
+    def test_wrong_ethertype_rejected(self):
+        frame = EthernetFrame(
+            dst_mac=b"\x02" * 6, src_mac=b"\x02" * 6, payload=b"x", ethertype=0x0800
+        ).encode()
+        with pytest.raises(WireFormatError):
+            untunnel_packet(frame)
+
+    def test_mtu_enforced(self):
+        with pytest.raises(WireFormatError):
+            EthernetFrame(b"\x02" * 6, b"\x02" * 6, b"x" * 1501).encode()
+
+    def test_overhead_fraction(self):
+        assert tunnel_overhead_fraction(1500) == pytest.approx(18 / 1500)
+        with pytest.raises(WireFormatError):
+            tunnel_overhead_fraction(0)
+
+
+class TestSwitchedOption:
+    def test_structure(self):
+        racks = [TorusTopology((4, 4)) for _ in range(2)]
+        topo, switch = switched_multirack(
+            racks, uplinks_per_rack=2, switch_capacity_bps=gbps(40)
+        )
+        assert topo.n_nodes == 33
+        assert topo.degree(switch) == 4
+        # Uplinks carry the switch capacity, fabric links the rack's.
+        uplink = topo.link(switch, topo.neighbors(switch)[0])
+        assert uplink.capacity_bps == gbps(40)
+        assert topo.link(0, 1).capacity_bps == gbps(10)
+
+    def test_cross_rack_reachability(self):
+        racks = [TorusTopology((3, 3)) for _ in range(2)]
+        topo, switch = switched_multirack(racks)
+        assert topo.is_connected()
+        # All cross-rack paths pass the switch.
+        from repro.topology import enumerate_shortest_paths
+
+        for path in enumerate_shortest_paths(topo, 0, 9 + 4, limit=20):
+            assert switch in path
+
+    def test_simulation_across_switch(self):
+        from repro.sim import SimConfig, run_simulation
+        from repro.workloads import FixedSize, poisson_trace
+
+        racks = [TorusTopology((3, 3)) for _ in range(2)]
+        topo, _ = switched_multirack(racks, uplinks_per_rack=2)
+        trace = poisson_trace(topo, 30, 20_000, sizes=FixedSize(40_000), seed=3)
+        metrics = run_simulation(topo, trace, SimConfig(stack="r2c2", seed=3))
+        assert metrics.completion_rate() == 1.0

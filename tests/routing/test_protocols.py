@@ -1,0 +1,225 @@
+"""Behavioural tests for each routing protocol."""
+
+import random
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import (
+    DestinationTagRouting,
+    EcmpSinglePath,
+    RandomPacketSpraying,
+    ValiantLoadBalancing,
+    WeightedLoadBalancing,
+)
+from repro.routing.static import StaticPathSet
+from repro.topology import MeshTopology, TorusTopology, is_minimal_path, is_valid_path
+
+
+def weights_total(weights):
+    return sum(weights.values())
+
+
+class TestRps:
+    def test_paths_minimal(self, torus2d, rng):
+        rps = RandomPacketSpraying(torus2d)
+        for _ in range(50):
+            path = rps.sample_path(0, 10, rng)
+            assert is_minimal_path(torus2d, path)
+
+    def test_weight_cache_is_stable(self, torus2d):
+        rps = RandomPacketSpraying(torus2d)
+        assert rps.link_weights(0, 10) is rps.link_weights(0, 10)
+
+    def test_is_minimal_protocol(self, torus2d):
+        assert RandomPacketSpraying(torus2d).minimal
+
+
+class TestDor:
+    def test_deterministic_without_ties(self, rng):
+        topo = TorusTopology((5, 5))
+        dor = DestinationTagRouting(topo)
+        src, dst = topo.node_at((0, 0)), topo.node_at((2, 1))
+        paths = {tuple(dor.sample_path(src, dst, rng)) for _ in range(20)}
+        assert len(paths) == 1
+
+    def test_dimension_order(self):
+        topo = TorusTopology((4, 4))
+        dor = DestinationTagRouting(topo)
+        path = dor.sample_path(
+            topo.node_at((0, 0)), topo.node_at((1, 1)), random.Random(0)
+        )
+        coords = [topo.coordinates(n) for n in path]
+        # Dimension 0 corrected before dimension 1.
+        assert coords == [(0, 0), (1, 0), (1, 1)]
+
+    def test_path_minimal(self, torus2d, rng):
+        dor = DestinationTagRouting(torus2d)
+        for dst in range(1, torus2d.n_nodes):
+            assert is_minimal_path(torus2d, dor.sample_path(0, dst, rng))
+
+    def test_wrap_tie_split_weights(self):
+        topo = TorusTopology((4, 4))
+        dor = DestinationTagRouting(topo)
+        src, dst = topo.node_at((0, 0)), topo.node_at((2, 0))
+        weights = dor.link_weights(src, dst)
+        # Offset 2 on a 4-ring: both directions minimal, each weighted 0.5.
+        assert weights_total(weights) == pytest.approx(2.0)
+        assert all(w == pytest.approx(0.5) for w in weights.values())
+
+    def test_wrap_tie_sampling_uses_both(self, rng):
+        topo = TorusTopology((4, 4))
+        dor = DestinationTagRouting(topo)
+        src, dst = topo.node_at((0, 0)), topo.node_at((2, 0))
+        paths = {tuple(dor.sample_path(src, dst, rng)) for _ in range(50)}
+        assert len(paths) == 2
+
+    def test_mesh_has_no_wrap(self, rng):
+        topo = MeshTopology((4, 4))
+        dor = DestinationTagRouting(topo)
+        src, dst = topo.node_at((0, 0)), topo.node_at((2, 0))
+        weights = dor.link_weights(src, dst)
+        assert all(w == pytest.approx(1.0) for w in weights.values())
+
+    def test_generic_topology_fallback(self, line3, rng):
+        dor = DestinationTagRouting(line3)
+        assert dor.sample_path(0, 2, rng) == [0, 1, 2]
+        assert weights_total(dor.link_weights(0, 2)) == pytest.approx(2.0)
+
+
+class TestVlb:
+    def test_paths_valid_but_not_necessarily_minimal(self, torus2d, rng):
+        vlb = ValiantLoadBalancing(torus2d)
+        lengths = set()
+        for _ in range(50):
+            path = vlb.sample_path(0, 1, rng)
+            assert is_valid_path(torus2d, path)
+            assert path[0] == 0 and path[-1] == 1
+            lengths.add(len(path))
+        assert max(lengths) > torus2d.distance(0, 1) + 1  # detours happen
+
+    def test_weight_sum_is_expected_two_phase_length(self, torus2d):
+        vlb = ValiantLoadBalancing(torus2d)
+        weights = vlb.link_weights(0, 5)
+        n = torus2d.n_nodes
+        expected = (
+            sum(torus2d.distance(0, w) for w in torus2d.nodes()) / n
+            + sum(torus2d.distance(w, 5) for w in torus2d.nodes()) / n
+        )
+        assert weights_total(weights) == pytest.approx(expected)
+
+    def test_translation_matches_direct_computation(self, torus2d):
+        vlb = ValiantLoadBalancing(torus2d)
+        translated = vlb._phase1_weights(5)
+        direct = vlb._compute_phase1(5)
+        assert set(translated) == set(direct)
+        for link in direct:
+            assert translated[link] == pytest.approx(direct[link])
+
+    def test_not_minimal_flag(self, torus2d):
+        assert not ValiantLoadBalancing(torus2d).minimal
+
+
+class TestWlb:
+    def test_requires_coordinates(self, line3):
+        with pytest.raises(RoutingError):
+            WeightedLoadBalancing(line3)
+
+    def test_paths_valid(self, torus2d, rng):
+        wlb = WeightedLoadBalancing(torus2d)
+        for _ in range(50):
+            path = wlb.sample_path(0, 10, rng)
+            assert is_valid_path(torus2d, path)
+            assert path[0] == 0 and path[-1] == 10
+
+    def test_short_offsets_prefer_minimal(self):
+        # Offset 1 on an 8-ring: short way w.p. 7/8.
+        topo = TorusTopology((8, 8))
+        wlb = WeightedLoadBalancing(topo)
+        options = wlb._direction_options(
+            topo.node_at((0, 0)), topo.node_at((1, 0))
+        )
+        (step, count, prob), (_, count2, prob2) = options[0]
+        assert (step, count) == (1, 1)
+        assert prob == pytest.approx(7 / 8)
+        assert count2 == 7 and prob2 == pytest.approx(1 / 8)
+
+    def test_weight_conservation(self, torus2d):
+        wlb = WeightedLoadBalancing(torus2d)
+        weights = wlb.link_weights(0, 10)
+        out = sum(
+            w for link, w in weights.items() if torus2d.links[link].src == 0
+        )
+        assert out == pytest.approx(1.0)
+
+    def test_mesh_degenerates_to_minimal(self, rng):
+        topo = MeshTopology((4, 4))
+        wlb = WeightedLoadBalancing(topo)
+        for _ in range(20):
+            path = wlb.sample_path(
+                topo.node_at((0, 0)), topo.node_at((2, 2)), rng
+            )
+            assert is_minimal_path(topo, path)
+
+
+class TestEcmp:
+    def test_single_deterministic_path_per_flow(self, torus2d, rng):
+        ecmp = EcmpSinglePath(torus2d)
+        paths = {
+            tuple(ecmp.sample_path(0, 10, rng, flow_id=7)) for _ in range(10)
+        }
+        assert len(paths) == 1
+
+    def test_different_flows_spread_over_paths(self, torus2d, rng):
+        ecmp = EcmpSinglePath(torus2d)
+        paths = {
+            tuple(ecmp.sample_path(0, 10, rng, flow_id=f)) for f in range(50)
+        }
+        assert len(paths) > 1  # the hash actually spreads flows
+
+    def test_path_minimal(self, torus2d):
+        ecmp = EcmpSinglePath(torus2d)
+        for flow in range(10):
+            assert is_minimal_path(torus2d, ecmp.flow_path(0, 10, flow))
+
+    def test_weights_are_path_indicator(self, torus2d):
+        ecmp = EcmpSinglePath(torus2d)
+        weights = ecmp.link_weights(0, 10, flow_id=3)
+        assert all(w == 1.0 for w in weights.values())
+        assert weights_total(weights) == torus2d.distance(0, 10)
+
+
+class TestStatic:
+    def test_set_and_sample(self, torus2d, rng):
+        static = StaticPathSet(torus2d)
+        static.set_paths(0, 5, [[0, 1, 5], [0, 4, 5]], [0.25, 0.75])
+        seen = {tuple(static.sample_path(0, 5, rng)) for _ in range(50)}
+        assert seen == {(0, 1, 5), (0, 4, 5)}
+
+    def test_weights_respect_probabilities(self, torus2d):
+        static = StaticPathSet(torus2d)
+        static.set_paths(0, 5, [[0, 1, 5], [0, 4, 5]], [0.25, 0.75])
+        weights = static.link_weights(0, 5)
+        assert weights[torus2d.link_id(0, 1)] == pytest.approx(0.25)
+        assert weights[torus2d.link_id(0, 4)] == pytest.approx(0.75)
+
+    def test_unconfigured_pair_raises(self, torus2d, rng):
+        static = StaticPathSet(torus2d)
+        with pytest.raises(RoutingError):
+            static.sample_path(0, 5, rng)
+
+    def test_invalid_path_rejected(self, torus2d):
+        static = StaticPathSet(torus2d)
+        with pytest.raises(RoutingError):
+            static.set_paths(0, 5, [[0, 5]])  # not adjacent
+        with pytest.raises(RoutingError):
+            static.set_paths(0, 5, [[0, 1, 2]])  # wrong endpoint
+        with pytest.raises(RoutingError):
+            static.set_paths(0, 5, [])
+
+    def test_probability_validation(self, torus2d):
+        static = StaticPathSet(torus2d)
+        with pytest.raises(RoutingError):
+            static.set_paths(0, 5, [[0, 1, 5]], [0.0])
+        with pytest.raises(RoutingError):
+            static.set_paths(0, 5, [[0, 1, 5], [0, 4, 5]], [1.0])

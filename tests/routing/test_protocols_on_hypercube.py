@@ -1,0 +1,73 @@
+"""Routing protocols exercised on the hypercube (2-ary n-cube) fabric.
+
+The hypercube stresses corner cases the torus hides: every dimension has
+size two, so wrap ties are everywhere and the torus-specific closed forms
+must degrade gracefully.
+"""
+
+import random
+
+import pytest
+
+from repro.congestion import FlowSpec, WeightProvider, waterfill
+from repro.routing import (
+    DestinationTagRouting,
+    RandomPacketSpraying,
+    ValiantLoadBalancing,
+    WeightedLoadBalancing,
+)
+from repro.topology import HypercubeTopology, is_minimal_path, is_valid_path
+
+
+@pytest.fixture
+def cube():
+    return HypercubeTopology(4)
+
+
+class TestOnHypercube:
+    def test_rps_minimal(self, cube, rng):
+        rps = RandomPacketSpraying(cube)
+        for dst in (1, 7, 15):
+            path = rps.sample_path(0, dst, rng)
+            assert is_minimal_path(cube, path)
+        weights = rps.link_weights(0, 15)
+        assert sum(weights.values()) == pytest.approx(4.0)
+
+    def test_dor_fixes_bits_in_order(self, cube):
+        dor = DestinationTagRouting(cube)
+        path = dor.sample_path(0b0000, 0b1111, random.Random(0))
+        assert is_minimal_path(cube, path)
+        assert len({tuple(dor.sample_path(0, 15, random.Random(s))) for s in range(5)}) == 1
+
+    def test_vlb_translation_by_xor(self, cube):
+        vlb = ValiantLoadBalancing(cube)
+        translated = vlb._phase1_weights(5)
+        direct = vlb._compute_phase1(5)
+        assert set(translated) == set(direct)
+        for link in direct:
+            assert translated[link] == pytest.approx(direct[link])
+
+    def test_vlb_paths_valid(self, cube, rng):
+        vlb = ValiantLoadBalancing(cube)
+        for _ in range(30):
+            path = vlb.sample_path(3, 12, rng)
+            assert is_valid_path(cube, path)
+            assert path[0] == 3 and path[-1] == 12
+
+    def test_wlb_runs_on_all_dims_two(self, cube, rng):
+        wlb = WeightedLoadBalancing(cube)
+        path = wlb.sample_path(0, 15, rng)
+        assert is_valid_path(cube, path)
+        weights = wlb.link_weights(0, 15)
+        out = sum(w for link, w in weights.items() if cube.links[link].src == 0)
+        assert out == pytest.approx(1.0)
+
+    def test_waterfill_on_hypercube(self, cube):
+        provider = WeightProvider(cube)
+        flows = [
+            FlowSpec(i, i, 15 - i, protocol=proto)
+            for i, proto in enumerate(("rps", "dor", "vlb", "wlb"))
+        ]
+        alloc = waterfill(cube, flows, provider, headroom=0.05)
+        assert all(r > 0 for r in alloc.rates_bps.values())
+        assert (alloc.link_load_bps <= alloc.link_capacity_bps * (1 + 1e-6)).all()

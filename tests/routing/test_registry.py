@@ -1,0 +1,74 @@
+"""Tests for the routing-protocol registry."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import (
+    DestinationTagRouting,
+    EcmpSinglePath,
+    RandomPacketSpraying,
+    RoutingProtocol,
+    ValiantLoadBalancing,
+    WeightedLoadBalancing,
+    make_protocol,
+    protocol_class,
+    registered_protocols,
+)
+from repro.routing.static import StaticPathSet
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = set(registered_protocols())
+        assert {"rps", "dor", "vlb", "wlb", "ecmp", "static"} <= names
+
+    def test_lookup_by_name(self):
+        assert protocol_class("rps") is RandomPacketSpraying
+        assert protocol_class("vlb") is ValiantLoadBalancing
+
+    def test_lookup_by_id(self):
+        assert protocol_class(0) is RandomPacketSpraying
+        assert protocol_class(1) is DestinationTagRouting
+        assert protocol_class(2) is ValiantLoadBalancing
+        assert protocol_class(3) is WeightedLoadBalancing
+        assert protocol_class(4) is EcmpSinglePath
+        assert protocol_class(5) is StaticPathSet
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(RoutingError):
+            protocol_class("carrier-pigeon")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(RoutingError):
+            protocol_class(200)
+
+    def test_make_protocol(self, torus2d):
+        protocol = make_protocol("rps", torus2d)
+        assert isinstance(protocol, RandomPacketSpraying)
+        assert protocol.topology is torus2d
+
+    def test_protocol_ids_fit_wire_nibble(self):
+        # Broadcast packets carry the protocol id in four bits.
+        for cls in registered_protocols().values():
+            assert 0 <= cls.protocol_id <= 0xF
+
+    def test_duplicate_registration_rejected(self):
+        from repro.routing.base import register_protocol
+
+        class Dup(RoutingProtocol):
+            name = "rps"
+            protocol_id = 14
+
+            def sample_path(self, src, dst, rng, flow_id=0):
+                raise NotImplementedError
+
+            def link_weights(self, src, dst, flow_id=0):
+                raise NotImplementedError
+
+        with pytest.raises(RoutingError):
+            register_protocol(Dup)
+
+    def test_endpoint_validation(self, torus2d, rng):
+        protocol = make_protocol("rps", torus2d)
+        with pytest.raises(RoutingError):
+            protocol.sample_path(0, 99, rng)

@@ -1,0 +1,122 @@
+"""Tests for the spray dynamic programs in repro.routing.weights."""
+
+import random
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import (
+    deterministic_minimal_path,
+    merge_weights,
+    path_weights,
+    sample_spray_path,
+    spray_injection_weights,
+    spray_link_weights,
+)
+from repro.topology import TorusTopology, is_minimal_path
+
+
+class TestSprayWeights:
+    def test_weights_sum_to_expected_path_length(self, torus2d):
+        for dst in (1, 5, 10):
+            weights = spray_link_weights(torus2d, 0, dst)
+            assert sum(weights.values()) == pytest.approx(torus2d.distance(0, dst))
+
+    def test_outgoing_conservation(self, torus2d):
+        # Mass out of the source equals one.
+        weights = spray_link_weights(torus2d, 0, 10)
+        out = sum(
+            w
+            for link, w in weights.items()
+            if torus2d.links[link].src == 0
+        )
+        assert out == pytest.approx(1.0)
+
+    def test_incoming_at_destination_is_one(self, torus2d):
+        weights = spray_link_weights(torus2d, 0, 10)
+        incoming = sum(
+            w for link, w in weights.items() if torus2d.links[link].dst == 10
+        )
+        assert incoming == pytest.approx(1.0)
+
+    def test_only_minimal_links_used(self, torus2d):
+        dst = 10
+        dist = torus2d.distances_to(dst)
+        for link_id in spray_link_weights(torus2d, 0, dst):
+            link = torus2d.links[link_id]
+            assert dist[link.dst] == dist[link.src] - 1
+
+    def test_known_small_case(self):
+        # 2x2 torus (a square): two equal-length paths, each side 0.5.
+        topo = TorusTopology((2, 2))
+        weights = spray_link_weights(topo, 0, 3)
+        assert sum(weights.values()) == pytest.approx(2.0)
+        values = sorted(weights.values())
+        assert values == pytest.approx([0.5, 0.5, 0.5, 0.5])
+
+    def test_matches_monte_carlo(self, torus2d):
+        rng = random.Random(99)
+        src, dst = 0, 10
+        counts = {}
+        trials = 4000
+        for _ in range(trials):
+            path = sample_spray_path(torus2d, src, dst, rng)
+            for i in range(len(path) - 1):
+                link = torus2d.link_id(path[i], path[i + 1])
+                counts[link] = counts.get(link, 0) + 1
+        weights = spray_link_weights(torus2d, src, dst)
+        for link, weight in weights.items():
+            if weight > 0.05:
+                assert counts.get(link, 0) / trials == pytest.approx(
+                    weight, rel=0.2
+                )
+
+
+class TestInjection:
+    def test_linearity(self, torus2d):
+        a = spray_link_weights(torus2d, 0, 10)
+        b = spray_link_weights(torus2d, 3, 10)
+        combined = spray_injection_weights(torus2d, 10, {0: 1.0, 3: 1.0})
+        merged = merge_weights(a, b)
+        assert set(combined) == set(merged)
+        for link in combined:
+            assert combined[link] == pytest.approx(merged[link])
+
+    def test_injection_at_destination_absorbed(self, torus2d):
+        assert spray_injection_weights(torus2d, 5, {5: 1.0}) == {}
+
+    def test_negative_injection_rejected(self, torus2d):
+        with pytest.raises(RoutingError):
+            spray_injection_weights(torus2d, 5, {0: -1.0})
+
+
+class TestSampling:
+    def test_sampled_paths_minimal(self, torus2d, rng):
+        for dst in (1, 5, 10, 15):
+            path = sample_spray_path(torus2d, 0, dst, rng)
+            assert is_minimal_path(torus2d, path)
+
+    def test_identity(self, torus2d, rng):
+        assert sample_spray_path(torus2d, 4, 4, rng) == [4]
+
+    def test_deterministic_minimal_path(self, torus2d):
+        path = deterministic_minimal_path(torus2d, 0, 10)
+        assert is_minimal_path(torus2d, path)
+        assert path == deterministic_minimal_path(torus2d, 0, 10)
+
+
+class TestHelpers:
+    def test_path_weights(self, torus2d):
+        weights = path_weights(torus2d, [0, 1, 5])
+        assert weights[torus2d.link_id(0, 1)] == 1.0
+        assert weights[torus2d.link_id(1, 5)] == 1.0
+
+    def test_merge_with_scales(self, torus2d):
+        a = {0: 1.0, 1: 2.0}
+        b = {1: 1.0}
+        merged = merge_weights(a, b, scales=[0.5, 2.0])
+        assert merged == {0: 0.5, 1: 3.0}
+
+    def test_merge_scale_mismatch(self):
+        with pytest.raises(RoutingError):
+            merge_weights({0: 1.0}, scales=[1.0, 2.0])

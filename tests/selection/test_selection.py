@@ -1,0 +1,175 @@
+"""Tests for the routing-selection problem, GA and baseline heuristics."""
+
+import pytest
+
+from repro.congestion import FlowSpec
+from repro.errors import SelectionError
+from repro.selection import (
+    AggregateThroughput,
+    AnnealingConfig,
+    AnnealingSelector,
+    GeneticConfig,
+    GeneticSelector,
+    HillClimbConfig,
+    HillClimbSelector,
+    LogLinearConfig,
+    LogLinearSelector,
+    SelectionProblem,
+    TailThroughput,
+    TenantTailThroughput,
+    random_baseline,
+    uniform_baseline,
+)
+from repro.workloads import permutation_load_trace
+
+
+def make_problem(topology, load=0.5, seed=1, protocols=("rps", "vlb")):
+    trace = permutation_load_trace(topology, load, seed=seed)
+    flows = [FlowSpec(a.flow_id, a.src, a.dst, protocol="rps") for a in trace]
+    return SelectionProblem(topology, flows, protocols=protocols)
+
+
+class TestProblem:
+    def test_fitness_memoized(self, torus2d):
+        problem = make_problem(torus2d)
+        assignment = problem.current_assignment()
+        problem.fitness(assignment)
+        problem.fitness(assignment)
+        assert problem.evaluations == 1
+
+    def test_current_assignment_matches_flows(self, torus2d):
+        problem = make_problem(torus2d)
+        assert problem.current_assignment() == (0,) * problem.n_flows
+
+    def test_assignment_length_checked(self, torus2d):
+        problem = make_problem(torus2d)
+        with pytest.raises(SelectionError):
+            problem.fitness((0,))
+
+    def test_protocol_names(self, torus2d):
+        problem = make_problem(torus2d)
+        names = problem.assignment_as_protocols((0, 1) * (problem.n_flows // 2))
+        assert set(names) == {"rps", "vlb"}
+
+    def test_empty_flows_rejected(self, torus2d):
+        with pytest.raises(SelectionError):
+            SelectionProblem(torus2d, [])
+
+
+class TestBaselines:
+    def test_uniform(self, torus2d):
+        problem = make_problem(torus2d)
+        result = uniform_baseline(problem, "vlb")
+        assert set(result.assignment) == {1}
+        assert result.utility > 0
+
+    def test_uniform_unknown_protocol(self, torus2d):
+        with pytest.raises(SelectionError):
+            uniform_baseline(make_problem(torus2d), "dor")
+
+    def test_random_deterministic_by_seed(self, torus2d):
+        problem = make_problem(torus2d)
+        a = random_baseline(problem, seed=3)
+        b = random_baseline(problem, seed=3)
+        assert a.assignment == b.assignment
+
+
+class TestGenetic:
+    def test_never_worse_than_uniform_baselines(self, torus3d):
+        problem = make_problem(torus3d, load=0.25)
+        ga = GeneticSelector(GeneticConfig(max_generations=8, patience=3, seed=1))
+        result = ga.search(problem)
+        rps = uniform_baseline(problem, "rps").utility
+        vlb = uniform_baseline(problem, "vlb").utility
+        assert result.utility >= max(rps, vlb) - 1e-6
+
+    def test_beats_baselines_at_low_load(self, torus3d):
+        # Figure 18's core claim: mixing protocols beats any single one.
+        problem = make_problem(torus3d, load=0.125)
+        result = GeneticSelector(
+            GeneticConfig(max_generations=15, patience=5, seed=2)
+        ).search(problem)
+        best_uniform = max(
+            uniform_baseline(problem, p).utility for p in ("rps", "vlb")
+        )
+        assert result.utility > best_uniform * 1.02
+
+    def test_history_monotone(self, torus2d):
+        problem = make_problem(torus2d)
+        result = GeneticSelector(
+            GeneticConfig(max_generations=6, patience=6, seed=0)
+        ).search(problem)
+        assert result.history == sorted(result.history)
+
+    def test_config_validation(self):
+        with pytest.raises(SelectionError):
+            GeneticConfig(population_size=1)
+        with pytest.raises(SelectionError):
+            GeneticConfig(mutation_probability=2.0)
+        with pytest.raises(SelectionError):
+            GeneticConfig(elite_fraction=0.0)
+
+
+class TestOtherHeuristics:
+    def test_hill_climb_improves_or_equals(self, torus2d):
+        problem = make_problem(torus2d)
+        start = problem.fitness(problem.current_assignment())
+        result = HillClimbSelector(HillClimbConfig(max_steps=200, restarts=1)).search(problem)
+        assert result.utility >= start
+
+    def test_annealing_runs(self, torus2d):
+        problem = make_problem(torus2d)
+        result = AnnealingSelector(
+            AnnealingConfig(initial_temperature=0.5, cooling=0.8, steps_per_temperature=5)
+        ).search(problem)
+        assert result.utility > 0
+        assert result.heuristic == "annealing"
+
+    def test_loglinear_runs(self, torus2d):
+        problem = make_problem(torus2d)
+        result = LogLinearSelector(LogLinearConfig(rounds=40)).search(problem)
+        assert result.utility > 0
+        assert len(result.history) == 41
+
+    def test_config_validation(self):
+        with pytest.raises(SelectionError):
+            HillClimbConfig(max_steps=0)
+        with pytest.raises(SelectionError):
+            AnnealingConfig(cooling=1.5)
+        with pytest.raises(SelectionError):
+            LogLinearConfig(rounds=0)
+
+
+class TestUtilities:
+    def _allocation(self, rates):
+        import numpy as np
+
+        from repro.congestion.waterfill import RateAllocation
+
+        return RateAllocation(
+            rates_bps=rates,
+            bottleneck_link={},
+            link_load_bps=np.zeros(1),
+            link_capacity_bps=np.ones(1),
+        )
+
+    def test_aggregate(self):
+        alloc = self._allocation({1: 2.0, 2: 3.0})
+        assert AggregateThroughput().evaluate(alloc) == 5.0
+
+    def test_tail_min(self):
+        alloc = self._allocation({1: 2.0, 2: 3.0})
+        assert TailThroughput().evaluate(alloc) == 2.0
+
+    def test_tail_percentile(self):
+        alloc = self._allocation({i: float(i) for i in range(1, 101)})
+        assert TailThroughput(percentile=50).evaluate(alloc) == pytest.approx(50.5)
+
+    def test_tenant_tail(self):
+        metric = TenantTailThroughput({1: "a", 2: "a", 3: "b"})
+        alloc = self._allocation({1: 1.0, 2: 1.0, 3: 1.5})
+        assert metric.evaluate(alloc) == 1.5
+
+    def test_tail_validation(self):
+        with pytest.raises(SelectionError):
+            TailThroughput(percentile=150)

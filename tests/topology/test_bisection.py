@@ -1,0 +1,74 @@
+"""Tests for bisection-capacity calculations."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    FoldedClosTopology,
+    GraphTopology,
+    HypercubeTopology,
+    MeshTopology,
+    TorusTopology,
+    bisection_bandwidth_bps,
+    bisection_channel_count,
+)
+from repro.types import gbps
+
+
+class TestClosedForms:
+    def test_torus_8ary_2cube(self):
+        # 4 * 64 / 8 = 32 directed channels across the bisection.
+        assert bisection_channel_count(TorusTopology((8, 8))) == 32
+
+    def test_torus_3d(self):
+        assert bisection_channel_count(TorusTopology((8, 8, 8))) == 4 * 512 // 8
+
+    def test_mesh_has_half_the_torus_bisection(self):
+        torus = bisection_channel_count(TorusTopology((4, 4)))
+        mesh = bisection_channel_count(MeshTopology((4, 4)))
+        assert torus == 2 * mesh
+
+    def test_hypercube(self):
+        assert bisection_channel_count(HypercubeTopology(4)) == 16
+
+    def test_clos(self):
+        topo = FoldedClosTopology(16, radix=8)
+        assert bisection_channel_count(topo) == 4 * 4
+
+    def test_odd_dims_rejected(self):
+        with pytest.raises(TopologyError):
+            bisection_channel_count(TorusTopology((3, 3)))
+
+
+class TestBandwidth:
+    def test_seamicro_scale_bandwidth(self):
+        # The SeaMicro rack advertises 1.28 Tbps bisection; a 512-node
+        # 3D torus with 10 Gbps links gives 4*512/8 * 10G = 2.56 Tbps of
+        # directed-channel capacity, i.e. 1.28 Tbps per direction.
+        topo = TorusTopology((8, 8, 8), capacity_bps=gbps(10))
+        assert bisection_bandwidth_bps(topo) == pytest.approx(2.56e12)
+
+
+class TestBruteForce:
+    def test_matches_closed_form_on_small_torus(self):
+        topo = TorusTopology((4, 2))
+        generic = GraphTopology(
+            topo.n_nodes,
+            sorted({(min(l.src, l.dst), max(l.src, l.dst)) for l in topo.links}),
+        )
+        assert bisection_channel_count(generic) == bisection_channel_count(topo)
+
+    def test_too_large_raises(self):
+        topo = GraphTopology(18, [(i, (i + 1) % 18) for i in range(18)])
+        with pytest.raises(TopologyError):
+            bisection_channel_count(topo)
+
+    def test_odd_node_count_raises(self):
+        topo = GraphTopology(3, [(0, 1), (1, 2)])
+        with pytest.raises(TopologyError):
+            bisection_channel_count(topo)
+
+    def test_ring(self):
+        ring = GraphTopology(8, [(i, (i + 1) % 8) for i in range(8)])
+        # A balanced cut of a ring severs two cables = 4 directed channels.
+        assert bisection_channel_count(ring) == 4

@@ -1,0 +1,144 @@
+"""Tests for the end-to-end reliability transport (paper §6)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.transport import SACK_WINDOW, AckInfo, ReliableReceiver, ReliableSender
+
+
+class TestReliableSender:
+    def test_sends_in_order_initially(self):
+        sender = ReliableSender(n_segments=3, rto_ns=100)
+        for expected in (0, 1, 2):
+            seq = sender.next_segment(now_ns=0)
+            assert seq == expected
+            sender.on_sent(seq, now_ns=0)
+        assert sender.next_segment(now_ns=0) is None
+        assert sender.in_flight == 3
+
+    def test_retransmits_after_rto(self):
+        sender = ReliableSender(n_segments=1, rto_ns=100)
+        sender.on_sent(0, now_ns=0)
+        assert sender.next_segment(now_ns=50) is None
+        assert sender.next_segment(now_ns=100) == 0
+        assert sender.retransmissions == 1
+
+    def test_oldest_expired_first(self):
+        sender = ReliableSender(n_segments=3, rto_ns=100)
+        sender.on_sent(0, now_ns=0)
+        sender.on_sent(1, now_ns=10)
+        sender.on_sent(2, now_ns=20)
+        assert sender.next_segment(now_ns=150) == 0
+
+    def test_cumulative_ack(self):
+        sender = ReliableSender(n_segments=4, rto_ns=100)
+        for seq in range(3):
+            sender.on_sent(seq, now_ns=0)
+        newly = sender.on_ack(AckInfo(cumulative=2))
+        assert newly == 2
+        assert sender.in_flight == 1
+        assert not sender.all_acked
+
+    def test_sack_acknowledges_holes(self):
+        sender = ReliableSender(n_segments=4, rto_ns=100)
+        for seq in range(4):
+            sender.on_sent(seq, now_ns=0)
+        # Segment 0 lost; 1 and 3 arrived.
+        ack = AckInfo(cumulative=0, sack_bitmap=0b101)  # offsets 0 and 2
+        sender.on_ack(ack)
+        assert sender.in_flight == 2  # 0 and 2 outstanding
+        # After RTO only the lost ones come back.
+        assert sender.next_segment(now_ns=200) == 0
+
+    def test_sacked_segment_not_retransmitted(self):
+        sender = ReliableSender(n_segments=2, rto_ns=100)
+        sender.on_sent(0, now_ns=0)
+        sender.on_sent(1, now_ns=0)
+        sender.on_ack(AckInfo(cumulative=0, sack_bitmap=0b1))  # seg 1 sacked
+        assert sender.next_segment(now_ns=500) == 0
+
+    def test_all_acked(self):
+        sender = ReliableSender(n_segments=2, rto_ns=100)
+        sender.on_sent(0, 0)
+        sender.on_sent(1, 0)
+        sender.on_ack(AckInfo(cumulative=2))
+        assert sender.all_acked
+        assert sender.next_segment(0) is None
+
+    def test_duplicate_ack_is_idempotent(self):
+        sender = ReliableSender(n_segments=2, rto_ns=100)
+        sender.on_sent(0, 0)
+        assert sender.on_ack(AckInfo(cumulative=1)) == 1
+        assert sender.on_ack(AckInfo(cumulative=1)) == 0
+
+    def test_next_timeout(self):
+        sender = ReliableSender(n_segments=2, rto_ns=100)
+        assert sender.next_timeout_ns(0) is None
+        sender.on_sent(0, now_ns=40)
+        assert sender.next_timeout_ns(50) == 140
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ReliableSender(0, 100)
+        with pytest.raises(ReproError):
+            ReliableSender(1, 0)
+        sender = ReliableSender(2, 100)
+        with pytest.raises(ReproError):
+            sender.on_sent(5, 0)
+
+
+class TestReliableReceiver:
+    def test_in_order_delivery(self):
+        receiver = ReliableReceiver(3)
+        assert receiver.on_segment(0)
+        assert receiver.on_segment(1)
+        assert receiver.on_segment(2)
+        assert receiver.complete
+        assert receiver.cumulative == 3
+
+    def test_out_of_order_and_sack(self):
+        receiver = ReliableReceiver(4)
+        receiver.on_segment(2)
+        receiver.on_segment(1)
+        ack = receiver.ack_info()
+        assert ack.cumulative == 0
+        assert ack.is_received(1) and ack.is_received(2)
+        assert not ack.is_received(0) and not ack.is_received(3)
+        receiver.on_segment(0)
+        assert receiver.ack_info().cumulative == 3
+
+    def test_duplicates_counted_not_redelivered(self):
+        receiver = ReliableReceiver(2)
+        assert receiver.on_segment(0)
+        assert not receiver.on_segment(0)
+        assert receiver.duplicates == 1
+
+    def test_validation(self):
+        receiver = ReliableReceiver(2)
+        with pytest.raises(ReproError):
+            receiver.on_segment(2)
+        with pytest.raises(ReproError):
+            ReliableReceiver(0)
+
+
+class TestEndToEndRecovery:
+    def test_lossy_channel_converges(self):
+        """Monte-carlo: a 30%-lossy channel still delivers everything."""
+        import random
+
+        rng = random.Random(5)
+        sender = ReliableSender(n_segments=20, rto_ns=10)
+        receiver = ReliableReceiver(20)
+        now = 0
+        while not sender.all_acked and now < 10_000:
+            seq = sender.next_segment(now)
+            if seq is not None:
+                sender.on_sent(seq, now)
+                if rng.random() > 0.3:  # segment survives
+                    receiver.on_segment(seq)
+                    if rng.random() > 0.3:  # ack survives
+                        sender.on_ack(receiver.ack_info())
+            now += 1
+        assert receiver.complete
+        assert sender.all_acked
+        assert sender.retransmissions > 0

@@ -1,0 +1,115 @@
+"""Tests for traffic patterns and the worst-case adversary."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.routing import DestinationTagRouting, RandomPacketSpraying, ValiantLoadBalancing
+from repro.topology import TorusTopology
+from repro.workloads import (
+    STANDARD_PATTERNS,
+    BitComplementPattern,
+    BitReversePattern,
+    NearestNeighborPattern,
+    PermutationPattern,
+    TornadoPattern,
+    TransposePattern,
+    UniformPattern,
+    worst_case_permutation,
+    worst_case_throughput,
+)
+
+
+@pytest.fixture
+def cube8():
+    """8-ary 2-cube, the Figure 2 topology."""
+    return TorusTopology((8, 8))
+
+
+class TestPatterns:
+    def test_all_standard_patterns_valid(self, cube8):
+        for pattern in STANDARD_PATTERNS.values():
+            pattern.validate(cube8)
+
+    def test_uniform_covers_all_pairs(self, torus2d):
+        matrix = UniformPattern().matrix(torus2d)
+        assert len(matrix) == 16 * 15
+        assert sum(v for (s, _), v in matrix.items() if s == 0) == pytest.approx(1.0)
+
+    def test_nearest_neighbor_splits_over_neighbors(self, torus2d):
+        matrix = NearestNeighborPattern().matrix(torus2d)
+        for (src, dst), frac in matrix.items():
+            assert torus2d.has_link(src, dst)
+            assert frac == pytest.approx(1.0 / 4)
+
+    def test_bit_complement_is_involution(self, cube8):
+        matrix = BitComplementPattern().matrix(cube8)
+        mapping = {s: d for (s, d) in matrix}
+        for s, d in mapping.items():
+            assert mapping.get(d) == s
+
+    def test_transpose(self, cube8):
+        matrix = TransposePattern().matrix(cube8)
+        src = cube8.node_at((1, 3))
+        assert (src, cube8.node_at((3, 1))) in matrix
+        # Diagonal nodes send nothing.
+        assert not any(s == cube8.node_at((2, 2)) for (s, _) in matrix)
+
+    def test_transpose_needs_equal_dims(self):
+        with pytest.raises(ReproError):
+            TransposePattern().matrix(TorusTopology((4, 8)))
+
+    def test_tornado_shift(self, cube8):
+        matrix = TornadoPattern().matrix(cube8)
+        src = cube8.node_at((0, 0))
+        assert (src, cube8.node_at((3, 0))) in matrix  # ceil(8/2)-1 = 3
+
+    def test_bit_reverse(self):
+        topo = TorusTopology((4, 4))
+        matrix = BitReversePattern().matrix(topo)
+        assert (1, 8) in matrix  # 0b0001 -> 0b1000
+
+    def test_permutation_pattern_validates_range(self, torus2d):
+        pattern = PermutationPattern({0: 99})
+        with pytest.raises(ReproError):
+            pattern.matrix(torus2d)
+
+    def test_patterns_need_coordinates(self, line3):
+        with pytest.raises(ReproError):
+            BitComplementPattern().matrix(line3)
+
+
+class TestWorstCase:
+    def test_vlb_worst_case_is_half(self, cube8):
+        # Figure 2's defining VLB property: 0.5 on *every* pattern,
+        # including its worst case.
+        vlb = ValiantLoadBalancing(cube8)
+        assert worst_case_throughput(vlb) == pytest.approx(0.5, abs=0.06)
+
+    def test_minimal_routing_worst_case_below_half(self, cube8):
+        # Figure 2: RPS 0.21, DOR 0.25 — both well below VLB's 0.5.
+        rps_wc = worst_case_throughput(RandomPacketSpraying(cube8))
+        dor_wc = worst_case_throughput(DestinationTagRouting(cube8))
+        assert rps_wc < 0.35
+        assert dor_wc < 0.35
+
+    def test_worst_case_is_worse_than_uniform(self, cube8):
+        from repro.analysis import saturation_throughput
+
+        rps = RandomPacketSpraying(cube8)
+        uniform = saturation_throughput(rps, UniformPattern().matrix(cube8))
+        assert worst_case_throughput(rps) < uniform
+
+    def test_worst_permutation_is_a_permutation(self, torus2d):
+        rps = RandomPacketSpraying(torus2d)
+        perm, load = worst_case_permutation(rps)
+        assert load > 0
+        assert len(set(perm.values())) == len(perm)
+        assert all(s != d for s, d in perm.items())
+
+    def test_permutation_achieves_reported_load(self, torus2d):
+        from repro.analysis import channel_loads
+
+        rps = RandomPacketSpraying(torus2d)
+        perm, load = worst_case_permutation(rps)
+        matrix = PermutationPattern(perm).matrix(torus2d)
+        assert channel_loads(rps, matrix).max() == pytest.approx(load)
