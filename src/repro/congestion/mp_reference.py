@@ -152,6 +152,11 @@ def maxmin_rates(
 
     while len(frozen) < len(flows):
         t_star, _ = solve(None, 0.0)
+        # Shave a relative epsilon off t*: the solver can return a value a
+        # few ulps above the exactly-feasible optimum (e.g. capacity/3 at
+        # 1e10 scale), and feeding it back verbatim as a floor or equality
+        # makes the follow-up LPs infeasible at HiGHS's tolerance.
+        t_star = max(0.0, t_star * (1.0 - 1e-9))
         # A flow is frozen at t* iff its rate cannot be pushed above t*
         # while all other unfrozen flows keep at least t*.
         newly = []

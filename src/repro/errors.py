@@ -57,6 +57,16 @@ class SimulationError(ReproError):
     """
 
 
+class InvariantViolation(SimulationError):
+    """Raised by the runtime invariant auditor (:mod:`repro.validation`).
+
+    Signals that a machine-checked invariant — packet/byte conservation,
+    link capacity, FIFO event causality, monotone flow completion — was
+    broken during a run.  Subclasses :class:`SimulationError` because every
+    violation is, by definition, a simulator-internal inconsistency.
+    """
+
+
 class EmulationError(ReproError):
     """Raised by the Maze emulation platform for configuration errors or
     ring-buffer protocol violations.

@@ -4,14 +4,45 @@ A minimal, fast event loop: integer-nanosecond timestamps, a binary heap,
 and FIFO ordering among simultaneous events (a monotonically increasing
 sequence number breaks timestamp ties, so causality between same-time events
 follows scheduling order).
+
+An optional *observer* (see :mod:`repro.validation`) receives every
+``(timestamp, sequence)`` pair as it executes, which lets the invariant
+auditor machine-check clock monotonicity and FIFO causality.  With no
+observer attached the cost is a single ``is not None`` test per event.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
+import operator
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
+
+
+def _as_time_ns(value, what: str) -> int:
+    """Coerce *value* to an integer nanosecond count or raise.
+
+    Accepts exact ints (and anything implementing ``__index__``, e.g. numpy
+    integers) plus floats that carry an exact integral value; rejects NaN,
+    infinities and fractional delays, which would silently corrupt heap
+    ordering (NaN compares false against everything).
+    """
+    if type(value) is int:
+        return value
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value) or not value.is_integer():
+            raise SimulationError(
+                f"{what} must be an integer nanosecond count, got {value!r}"
+            )
+        return int(value)
+    try:
+        return operator.index(value)
+    except TypeError:
+        raise SimulationError(
+            f"{what} must be an integer nanosecond count, got {value!r}"
+        ) from None
 
 
 class EventLoop:
@@ -22,6 +53,7 @@ class EventLoop:
         self._seq = 0
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._events_processed = 0
+        self._observer = None
 
     @property
     def now(self) -> int:
@@ -33,14 +65,23 @@ class EventLoop:
         """Total events executed so far (performance accounting)."""
         return self._events_processed
 
+    def attach_observer(self, observer) -> None:
+        """Install an event observer (``observer.on_event(at_ns, seq)``).
+
+        Used by the invariant auditor; pass ``None`` to detach.
+        """
+        self._observer = observer
+
     def schedule(self, delay_ns: int, action: Callable[[], None]) -> None:
         """Run *action* ``delay_ns`` nanoseconds from now."""
+        delay_ns = _as_time_ns(delay_ns, "delay")
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule {delay_ns} ns in the past")
         self.schedule_at(self._now + delay_ns, action)
 
     def schedule_at(self, at_ns: int, action: Callable[[], None]) -> None:
         """Run *action* at absolute time *at_ns*."""
+        at_ns = _as_time_ns(at_ns, "timestamp")
         if at_ns < self._now:
             raise SimulationError(
                 f"cannot schedule at {at_ns} ns, current time is {self._now} ns"
@@ -53,22 +94,31 @@ class EventLoop:
 
         Args:
             until_ns: Stop once the next event is later than this time (the
-                clock is left at ``until_ns``).
+                clock is left at ``until_ns``).  Must not lie in the past.
             max_events: Safety bound on processed events.
 
         Returns:
             Number of events processed during this call.
         """
+        if until_ns is not None:
+            until_ns = _as_time_ns(until_ns, "until_ns")
+            if until_ns < self._now:
+                raise SimulationError(
+                    f"cannot run until {until_ns} ns, current time is {self._now} ns"
+                )
+        observer = self._observer
         processed = 0
         while self._queue:
             if max_events is not None and processed >= max_events:
                 break
-            at_ns, _, action = self._queue[0]
+            at_ns, seq, action = self._queue[0]
             if until_ns is not None and at_ns > until_ns:
                 self._now = until_ns
                 break
             heapq.heappop(self._queue)
             self._now = at_ns
+            if observer is not None:
+                observer.on_event(at_ns, seq)
             action()
             processed += 1
         else:
@@ -76,6 +126,14 @@ class EventLoop:
                 self._now = until_ns
         self._events_processed += processed
         return processed
+
+    def run_until(self, until_ns: int, max_events: Optional[int] = None) -> int:
+        """Run strictly up to *until_ns*, leaving the clock there.
+
+        A bound-checked convenience over :meth:`run`: *until_ns* must be an
+        integer timestamp no earlier than the current clock.
+        """
+        return self.run(until_ns=until_ns, max_events=max_events)
 
     def pending(self) -> int:
         """Events currently queued."""

@@ -83,6 +83,10 @@ class SimMetrics:
     duration_ns: int = 0
     wallclock_s: float = 0.0
     recompute_overheads: List[float] = field(default_factory=list)
+    #: :class:`~repro.validation.AuditReport` when the run was audited
+    #: (``SimConfig(audit=True)``), ``None`` otherwise.  Typed loosely to
+    #: keep this module independent of :mod:`repro.validation`.
+    audit: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Flow selections

@@ -144,6 +144,7 @@ class OutputPort:
         on_drop: Optional[Callable[[SimPacket], None]] = None,
         loss_rate: float = 0.0,
         loss_rng: Optional[random.Random] = None,
+        auditor=None,
     ) -> None:
         self._loop = loop
         self.src = src
@@ -153,6 +154,9 @@ class OutputPort:
         self.queue = queue
         self._deliver = deliver
         self._on_drop = on_drop
+        #: optional invariant auditor (repro.validation); None disables all
+        #: audit hooks at the cost of one attribute test per packet event.
+        self._auditor = auditor
         #: probability a transmitted data/ACK packet is corrupted on the
         #: wire (fault injection for reliability tests); broadcasts are
         #: exempt so the control plane stays testable independently.
@@ -171,9 +175,13 @@ class OutputPort:
         """Queue a packet for transmission; returns False on drop."""
         if not self.queue.enqueue(packet):
             self.drops += 1
+            if self._auditor is not None:
+                self._auditor.on_port_send(self, packet, accepted=False)
             if self._on_drop is not None:
                 self._on_drop(packet)
             return False
+        if self._auditor is not None:
+            self._auditor.on_port_send(self, packet, accepted=True)
         occupancy = self.queue.occupancy_bytes
         if occupancy > self.max_occupancy_bytes:
             self.max_occupancy_bytes = occupancy
@@ -191,6 +199,8 @@ class OutputPort:
         self.busy_ns += duration
         self.bytes_sent += packet.size_bytes
         self.packets_sent += 1
+        if self._auditor is not None:
+            self._auditor.on_transmit_start(self, packet, duration)
         self._loop.schedule(duration, lambda p=packet: self._finish(p))
 
     def _finish(self, packet: SimPacket) -> None:
@@ -203,8 +213,12 @@ class OutputPort:
             # Corrupted on the wire: it consumed transmission time but is
             # discarded by the receiver's checksum.
             self.wire_losses += 1
+            if self._auditor is not None:
+                self._auditor.on_wire_loss(self, packet)
         else:
             # Propagation happens in parallel with the next serialization.
+            if self._auditor is not None:
+                self._auditor.on_propagate(self, packet)
             self._loop.schedule(self._latency_ns, lambda p=packet: self._deliver(p))
         self._start_next()
 
@@ -231,6 +245,7 @@ class RackNetwork:
         on_drop: Optional[Callable[[NodeId, SimPacket], None]] = None,
         loss_rate: float = 0.0,
         loss_seed: int = 0,
+        auditor=None,
     ) -> None:
         if not (0.0 <= loss_rate < 1.0):
             raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -238,6 +253,7 @@ class RackNetwork:
         self._topology = topology
         self._fib = fib
         self._on_drop = on_drop
+        self._auditor = auditor
         loss_rng = random.Random(loss_seed ^ 0x10555) if loss_rate > 0 else None
         #: stack_at[node] is installed by the runner; it must expose
         #: deliver(packet) for packets terminating at the node.
@@ -255,7 +271,10 @@ class RackNetwork:
                 on_drop=self._make_drop_handler(link.src),
                 loss_rate=loss_rate,
                 loss_rng=loss_rng,
+                auditor=auditor,
             )
+        if auditor is not None:
+            auditor.attach_network(self)
 
     @property
     def topology(self) -> Topology:
@@ -297,6 +316,8 @@ class RackNetwork:
 
     def arrived(self, node: NodeId, packet: SimPacket) -> None:
         """A packet finished propagating to *node*."""
+        if self._auditor is not None:
+            self._auditor.on_arrive(node, packet)
         if packet.kind == KIND_BROADCAST:
             self._deliver_local(node, packet)
             self._forward_broadcast(node, packet, is_source=False)
@@ -344,6 +365,8 @@ class RackNetwork:
         stack = self.stack_at[node]
         if stack is None:
             raise SimulationError(f"no host stack installed at node {node}")
+        if self._auditor is not None:
+            self._auditor.on_local_deliver(node, packet)
         stack.deliver(packet)
 
     # ------------------------------------------------------------------

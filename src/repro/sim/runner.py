@@ -70,6 +70,14 @@ class SimConfig:
     seed: int = 0
     horizon_ns: Optional[int] = None
     progress_chunk_ns: int = msec(1)
+    #: Attach a :class:`~repro.validation.InvariantAuditor` to the run.
+    #: Off by default: the instrumented code then pays only a per-hook
+    #: ``is not None`` branch.
+    audit: bool = False
+    #: With auditing on, raise :class:`~repro.errors.InvariantViolation`
+    #: at the point of detection; otherwise collect violations into
+    #: ``metrics.audit.violations``.
+    audit_strict: bool = True
 
     def __post_init__(self) -> None:
         if self.stack not in STACKS:
@@ -110,15 +118,32 @@ def run_simulation(
     if len(flows) != len(trace):
         raise SimulationError("duplicate flow ids in trace")
 
+    auditor = None
+    if config.audit:
+        # Imported lazily: repro.validation imports this module for its
+        # differential oracles, so a top-level import would be circular.
+        from ..validation import InvariantAuditor
+
+        auditor = InvariantAuditor(strict=config.audit_strict)
+        auditor.attach_loop(loop)
+
     started_wall = time.perf_counter()
     if config.stack == "r2c2":
-        network, control = _build_r2c2(topology, loop, flows, metrics, config, provider)
+        network, control = _build_r2c2(
+            topology, loop, flows, metrics, config, provider, auditor
+        )
     elif config.stack == "tcp":
-        network = _build_tcp(topology, loop, flows, metrics, config)
+        network = _build_tcp(topology, loop, flows, metrics, config, auditor)
         control = None
     else:
-        network = _build_pfq(topology, loop, flows, metrics, config)
+        network = _build_pfq(topology, loop, flows, metrics, config, auditor)
         control = None
+    if auditor is not None:
+        for stack in network.stack_at:
+            if stack is not None:
+                stack.auditor = auditor
+        if control is not None:
+            control.auditor = auditor
 
     for arrival in trace:
         flow = flows[arrival.flow_id]
@@ -153,6 +178,10 @@ def run_simulation(
         metrics.recompute_overheads = [
             s.cpu_overhead for s in control.recompute_stats()
         ]
+    if auditor is not None:
+        metrics.audit = auditor.final_check(
+            flows=flows.values(), drained=(loop.pending() == 0)
+        )
     return metrics
 
 
@@ -165,7 +194,7 @@ def _default_horizon(topology: Topology, trace: Sequence[FlowArrival]) -> int:
     return last_arrival + max(drain_ns, msec(50))
 
 
-def _build_r2c2(topology, loop, flows, metrics, config, provider):
+def _build_r2c2(topology, loop, flows, metrics, config, provider, auditor=None):
     from ..routing.weights import deterministic_minimal_path
     from .packets import DROP_NOTE_SIZE_BYTES, KIND_BROADCAST, KIND_DROP_NOTE, SimPacket
 
@@ -203,6 +232,7 @@ def _build_r2c2(topology, loop, flows, metrics, config, provider):
         on_drop=on_drop,
         loss_rate=config.loss_rate,
         loss_seed=config.seed,
+        auditor=auditor,
     )
     network_holder["net"] = network
     provider = provider if provider is not None else WeightProvider(topology)
@@ -239,7 +269,7 @@ def _build_r2c2(topology, loop, flows, metrics, config, provider):
     return network, control
 
 
-def _build_tcp(topology, loop, flows, metrics, config):
+def _build_tcp(topology, loop, flows, metrics, config, auditor=None):
     limit = config.tcp_queue_limit_bytes
     network = RackNetwork(
         loop,
@@ -247,6 +277,7 @@ def _build_tcp(topology, loop, flows, metrics, config):
         queue_factory=lambda: FifoQueue(limit_bytes=limit),
         loss_rate=config.loss_rate,
         loss_seed=config.seed,
+        auditor=auditor,
     )
     ecmp = EcmpSinglePath(topology)
     for node in topology.nodes():
@@ -262,7 +293,7 @@ def _build_tcp(topology, loop, flows, metrics, config):
     return network
 
 
-def _build_pfq(topology, loop, flows, metrics, config):
+def _build_pfq(topology, loop, flows, metrics, config, auditor=None):
     coordinator = PfqCoordinator()
     packet_bytes = data_packet_size(config.mtu_payload)
     high = config.pfq_high_packets * packet_bytes
@@ -271,6 +302,7 @@ def _build_pfq(topology, loop, flows, metrics, config):
         loop,
         topology,
         queue_factory=lambda: BackpressureQueue(coordinator, high, low),
+        auditor=auditor,
     )
     from ..routing.base import make_protocol
 

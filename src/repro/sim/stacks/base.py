@@ -25,6 +25,9 @@ class HostStack(ABC):
         self.node = node
         self.loop = loop
         self.network = network
+        #: optional invariant auditor (repro.validation); installed by the
+        #: runner when auditing is enabled, None otherwise.
+        self.auditor = None
 
     @abstractmethod
     def start_flow(self, flow: SimFlow) -> None:
@@ -33,6 +36,11 @@ class HostStack(ABC):
     @abstractmethod
     def deliver(self, packet: SimPacket) -> None:
         """Handle a packet addressed to (or broadcast reaching) this node."""
+
+    def _audit_flow(self, flow: SimFlow) -> None:
+        """Report receiver-side flow progress to the auditor, if attached."""
+        if self.auditor is not None:
+            self.auditor.on_flow_progress(flow, self.loop.now)
 
     def on_epoch(self) -> None:
         """Hook invoked after each control-plane recomputation (optional)."""

@@ -211,3 +211,4 @@ class PfqStack(HostStack):
         flow.bytes_received += packet.payload
         if flow.bytes_received >= flow.size_bytes and flow.completed_ns is None:
             flow.completed_ns = self.loop.now
+        self._audit_flow(flow)

@@ -67,6 +67,9 @@ class SharedControlPlane:
         self.controller = controller
         self._stacks: List["R2C2Stack"] = []
         self._epoch_scheduled = False
+        #: optional invariant auditor (repro.validation); checks every
+        #: recomputed allocation against link capacities when installed.
+        self.auditor = None
 
     @property
     def provider(self):
@@ -93,6 +96,8 @@ class SharedControlPlane:
 
         def tick() -> None:
             self.controller.recompute(self.loop.now)
+            if self.auditor is not None:
+                self.auditor.audit_allocation(self.controller.allocation)
             for stack in self._stacks:
                 stack.on_epoch()
             self.loop.schedule(interval, tick)
@@ -102,6 +107,11 @@ class SharedControlPlane:
     def on_flow_started(self, spec: FlowSpec, node: NodeId) -> None:
         """Sender announced a flow (its own table knows immediately)."""
         self.controller.on_flow_started(spec, self.loop.now)
+
+    def on_flow_reannounced(self, spec: FlowSpec, node: NodeId) -> None:
+        """§3.2 recovery: refresh the table entry without re-running the
+        young-flow admission path (the flow is not new, just re-told)."""
+        self.controller.table.add(spec)
 
     def on_flow_finished(self, flow_id: int, node: NodeId) -> None:
         """Sender announced a finish."""
@@ -161,6 +171,8 @@ class PerNodeControlPlane:
         self.controller = self.controllers[0]
         self._stacks: List["R2C2Stack"] = []
         self._epoch_scheduled = False
+        #: optional invariant auditor (repro.validation).
+        self.auditor = None
 
     @property
     def provider(self):
@@ -188,6 +200,8 @@ class PerNodeControlPlane:
         def tick() -> None:
             for controller in self.controllers:
                 controller.recompute(self.loop.now)
+                if self.auditor is not None:
+                    self.auditor.audit_allocation(controller.allocation)
             for stack in self._stacks:
                 stack.on_epoch()
             self.loop.schedule(interval, tick)
@@ -197,6 +211,10 @@ class PerNodeControlPlane:
     def on_flow_started(self, spec: FlowSpec, node: NodeId) -> None:
         """The sender's controller learns immediately; others by delivery."""
         self.controllers[node].on_flow_started(spec, self.loop.now)
+
+    def on_flow_reannounced(self, spec: FlowSpec, node: NodeId) -> None:
+        """§3.2 recovery: the sender refreshes its own table entry."""
+        self.controllers[node].table.add(spec)
 
     def on_flow_finished(self, flow_id: int, node: NodeId) -> None:
         self.controllers[node].on_flow_finished(flow_id, self.loop.now)
@@ -380,6 +398,33 @@ class R2C2Stack(HostStack):
             delay = max(1, int(size * 8 * 1e9 / rate))
             self.loop.schedule(delay, lambda f=flow: self._emit(f))
 
+    def reannounce_ongoing(self) -> int:
+        """§3.2 failure recovery: re-broadcast every ongoing local flow.
+
+        Topology discovery reporting a failed link/node triggers this on
+        every node so that flow tables rebuilt after the event reconverge.
+        Returns the number of flows re-announced.
+        """
+        count = 0
+        for flow_id in sorted(self._active_local):
+            flow = self._flows.get(flow_id)
+            if flow is None or flow.sender_done:
+                continue
+            spec = FlowSpec(
+                flow_id=flow.flow_id,
+                src=flow.src,
+                dst=flow.dst,
+                protocol=flow.protocol,
+                weight=flow.weight,
+                priority=flow.priority,
+                start_time_ns=flow.start_ns,
+                tenant=flow.tenant,
+            )
+            self.control.on_flow_reannounced(spec, self.node)
+            self._broadcast(flow, _EVENT_START, spec)
+            count += 1
+        return count
+
     def on_epoch(self) -> None:
         """Epoch duties: wake stalled flows, refresh demand estimates."""
         stalled = list(self._stalled)
@@ -430,3 +475,4 @@ class R2C2Stack(HostStack):
         flow.bytes_received += packet.payload
         if flow.bytes_received >= flow.size_bytes and flow.completed_ns is None:
             flow.completed_ns = self.loop.now
+        self._audit_flow(flow)

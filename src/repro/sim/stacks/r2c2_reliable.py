@@ -143,6 +143,7 @@ class R2C2ReliableStack(R2C2Stack):
             flow.bytes_received += packet.payload
             if receiver.complete and flow.completed_ns is None:
                 flow.completed_ns = self.loop.now
+        self._audit_flow(flow)
         ack_info = receiver.ack_info()
         ack = SimPacket(
             kind=KIND_ACK,

@@ -234,6 +234,7 @@ class TcpStack(HostStack):
             flow.record_in_order(packet.seq)
             if flow.bytes_received >= flow.size_bytes and flow.completed_ns is None:
                 flow.completed_ns = self.loop.now
+        self._audit_flow(flow)
         # Cumulative ACK: number of in-order segments received.
         ack_no = flow.expected_seq
         ack = SimPacket(

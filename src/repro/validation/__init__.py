@@ -1,0 +1,55 @@
+"""Validation subsystem: invariant auditing, fault injection, oracles.
+
+R2C2's claims are only trustworthy if the stack's invariants are checked by
+machine, continuously, rather than eyeballed off benchmark figures.  This
+package provides the three layers of that correctness net:
+
+* :mod:`repro.validation.auditor` — a runtime invariant auditor that hooks
+  the event loop, the network fabric and the host stacks and asserts
+  packet/byte conservation, link-capacity respect, FIFO event causality and
+  monotone flow completion.  Attaching it is opt-in; when detached the data
+  plane pays one ``is not None`` test per event.
+* :mod:`repro.validation.faults` — deterministic (seeded) fault injection:
+  link/node failures through the topology failure views, packet bit
+  corruption caught by :mod:`repro.wire.checksum`, packet drop/reorder
+  deciders and control-plane message loss against
+  :mod:`repro.broadcast.reliability`.
+* :mod:`repro.validation.oracle` — differential oracles that cross-check
+  the water-filling allocator against the LP max-min reference, the packet
+  simulator against the fluid simulator and the simulator against the Maze
+  emulation on randomized topologies and workloads, reporting maximum
+  relative rate error the way Figures 15/16 do.
+"""
+
+from .auditor import AuditReport, InvariantAuditor
+from .faults import FaultEvent, FaultInjector, FaultSchedule
+from .oracle import (
+    DifferentialCase,
+    DifferentialReport,
+    random_connected_topology,
+    random_single_path_specs,
+    sim_vs_fluid_case,
+    sim_vs_fluid_report,
+    sim_vs_maze_case,
+    sim_vs_maze_report,
+    waterfill_vs_lp_case,
+    waterfill_vs_lp_report,
+)
+
+__all__ = [
+    "AuditReport",
+    "DifferentialCase",
+    "DifferentialReport",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "InvariantAuditor",
+    "random_connected_topology",
+    "random_single_path_specs",
+    "sim_vs_fluid_case",
+    "sim_vs_fluid_report",
+    "sim_vs_maze_case",
+    "sim_vs_maze_report",
+    "waterfill_vs_lp_case",
+    "waterfill_vs_lp_report",
+]

@@ -1,0 +1,57 @@
+"""Property: on random sparse single-path flow sets the water-fill and the
+LP-based max-min reference allocate identical rates (within 1e-6 relative).
+
+With every flow pinned to one path the two solve the same optimization, so
+this property pins down the allocator's fixed-point arithmetic across
+arbitrary random fabrics and flow patterns.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congestion import WeightProvider, waterfill
+from repro.congestion.mp_reference import PathFlow, maxmin_rates
+from repro.topology import TorusTopology
+from repro.validation import (
+    random_connected_topology,
+    random_single_path_specs,
+    waterfill_vs_lp_case,
+)
+
+pytestmark = pytest.mark.validation
+
+
+class TestWaterfillMatchesLpReference:
+    @given(
+        seed=st.integers(0, 10**6),
+        n_nodes=st.integers(4, 10),
+        n_flows=st.integers(1, 8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rates_agree_within_1e6(self, seed, n_nodes, n_flows):
+        topology = random_connected_topology(seed, n_nodes=n_nodes)
+        specs = random_single_path_specs(seed, topology, n_flows=n_flows)
+        case = waterfill_vs_lp_case(topology, specs, seed=seed)
+        assert case.max_rel_error <= 1e-6, case.description
+
+    @given(seed=st.integers(0, 10**6), n_flows=st.integers(2, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_torus_flow_sets_agree_too(self, seed, n_flows):
+        """Same property on the paper's own fabric rather than random graphs."""
+        topology = TorusTopology((4, 4))
+        specs = random_single_path_specs(seed, topology, n_flows=n_flows)
+        provider = WeightProvider(topology)
+        allocation = waterfill(topology, specs, provider, headroom=0.0)
+        ecmp = provider.protocol("ecmp")
+        reference = maxmin_rates(
+            topology,
+            [
+                PathFlow(s.flow_id, [ecmp.flow_path(s.src, s.dst, s.flow_id)])
+                for s in specs
+            ],
+        )
+        for spec in specs:
+            lp = reference[spec.flow_id]
+            wf = allocation.rates_bps[spec.flow_id]
+            assert abs(wf - lp) <= 1e-6 * max(lp, 1e-12)

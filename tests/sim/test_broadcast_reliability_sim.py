@@ -99,3 +99,102 @@ class TestBroadcastDropRecovery:
             SimPacket(KIND_DROP_NOTE, 0, 5, 0, seq=999, size_bytes=10, path=(5, 0))
         )
         assert stack.broadcast_retransmissions == 0
+
+
+@pytest.mark.validation
+class TestLinkFailureReannounce:
+    """§3.2: after topology discovery reports a failure, every node
+    re-announces its ongoing flows so rebuilt tables reconverge."""
+
+    def _build(self, topo, seed=0):
+        from repro.broadcast import BroadcastFib
+        from repro.congestion.controller import ControllerConfig
+        from repro.congestion.linkweights import WeightProvider
+        from repro.sim import EventLoop, RackNetwork
+        from repro.sim.stacks.r2c2 import PerNodeControlPlane, R2C2Stack
+
+        loop = EventLoop()
+        fib = BroadcastFib(topo, n_trees=2, seed=seed)
+        network = RackNetwork(loop, topo, fib=fib)
+        control = PerNodeControlPlane(
+            loop, network, topo, WeightProvider(topo), ControllerConfig()
+        )
+        flows = {}
+        stacks = [
+            R2C2Stack(n, loop, network, control, flows, n_trees=2, seed=seed)
+            for n in topo.nodes()
+        ]
+        for n in topo.nodes():
+            network.stack_at[n] = stacks[n]
+        return loop, network, control, stacks, flows
+
+    def test_reannounce_restores_rebuilt_tables(self):
+        from repro.sim.flows import SimFlow
+        from repro.validation import FaultInjector
+        from repro.workloads import FlowArrival
+
+        topo = TorusTopology((3, 3))
+        loop, network, control, stacks, flows = self._build(topo)
+        # Two long (ongoing) flows from different sources.
+        for flow_id, (src, dst) in enumerate([(0, 4), (2, 7)]):
+            flow = SimFlow(FlowArrival(flow_id, src, dst, 10_000_000, 0))
+            flows[flow_id] = flow
+            stacks[src].start_flow(flow)
+        loop.run_until(50_000)
+        assert all(0 in c.table and 1 in c.table for c in control.controllers)
+
+        # A link fails; discovery reports it and tables are rebuilt from
+        # scratch on every node (the paper's worst-case recovery).
+        injector = FaultInjector(seed=1)
+        degraded, failed = injector.fail_links(topo, 2)
+        assert injector.recovery.failed_links == set(failed)
+        for controller in control.controllers:
+            for flow_id in [f.flow_id for f in controller.table.snapshot()]:
+                controller.table.remove(flow_id)
+        assert all(len(c.table) == 0 for c in control.controllers)
+
+        # Every node re-announces its ongoing flows; the re-broadcasts
+        # travel as real packets and rebuild every table.
+        reannounced = sum(stack.reannounce_ongoing() for stack in stacks)
+        assert reannounced == 2
+        loop.run_until(loop.now + 100_000)
+        assert all(0 in c.table and 1 in c.table for c in control.controllers)
+
+    def test_reannounce_skips_finished_flows(self):
+        from repro.sim.flows import SimFlow
+        from repro.workloads import FlowArrival
+
+        topo = TorusTopology((3, 3))
+        loop, network, control, stacks, flows = self._build(topo)
+        flow = SimFlow(FlowArrival(0, 0, 4, 3_000, 0))  # tiny: finishes fast
+        flows[0] = flow
+        stacks[0].start_flow(flow)
+        loop.run()
+        assert flow.completed
+        assert stacks[0].reannounce_ongoing() == 0
+
+    def test_broadcasts_cover_degraded_fabric(self):
+        """Trees rebuilt on the failure view still reach every node."""
+        from repro.broadcast import BroadcastFib
+        from repro.sim import EventLoop, KIND_BROADCAST, RackNetwork, SimPacket
+        from repro.validation import FaultInjector
+
+        topo = TorusTopology((3, 3))
+        degraded, _ = FaultInjector(seed=4).fail_links(topo, 3)
+        assert degraded.is_connected()
+        loop = EventLoop()
+        network = RackNetwork(loop, degraded, fib=BroadcastFib(degraded, n_trees=2))
+
+        class Sink:
+            def __init__(self):
+                self.received = []
+
+            def deliver(self, packet):
+                self.received.append(packet)
+
+        sinks = [Sink() for _ in degraded.nodes()]
+        for node in degraded.nodes():
+            network.stack_at[node] = sinks[node]
+        network.inject(0, SimPacket(KIND_BROADCAST, 0, 0, 0, 0, 16, tree_id=1))
+        loop.run()
+        assert all(len(s.received) == 1 for s in sinks)

@@ -74,6 +74,77 @@ class TestEventLoop:
         assert processed == 10
 
 
+class TestEventLoopTimeValidation:
+    """NaN/fractional delays would silently corrupt heap ordering."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf"), 1.5])
+    def test_non_integral_delay_rejected(self, bad):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("nan"), 2.25, "10", None, object()])
+    def test_non_integral_timestamp_rejected(self, bad):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(bad, lambda: None)
+
+    def test_integral_float_accepted(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(10.0, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == [10]
+        assert isinstance(loop.now, int)
+
+    def test_index_like_delay_accepted(self):
+        class NanoSeconds:
+            def __index__(self):
+                return 7
+
+        loop = EventLoop()
+        loop.schedule(NanoSeconds(), lambda: None)
+        loop.run()
+        assert loop.now == 7
+
+    def test_run_until_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(10, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.run_until(5)
+
+    def test_run_until_nan_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.run_until(float("nan"))
+
+    def test_run_until_advances_clock(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(100, lambda: fired.append(1))
+        assert loop.run_until(50) == 0
+        assert loop.now == 50 and not fired
+        assert loop.run_until(100) == 1
+        assert fired == [1]
+
+    def test_observer_sees_every_event(self):
+        seen = []
+
+        class Observer:
+            def on_event(self, at_ns, seq):
+                seen.append((at_ns, seq))
+
+        loop = EventLoop()
+        loop.attach_observer(Observer())
+        loop.schedule(5, lambda: None)
+        loop.schedule(5, lambda: None)
+        loop.schedule(2, lambda: None)
+        loop.run()
+        assert len(seen) == 3
+        assert seen == sorted(seen)  # time-ordered, FIFO among ties
+
+
 class TestQueues:
     def test_fifo_order_and_limit(self):
         q = FifoQueue(limit_bytes=250)

@@ -19,6 +19,7 @@ SUBPACKAGES = (
     "repro.sim",
     "repro.topology",
     "repro.transport",
+    "repro.validation",
     "repro.wire",
     "repro.workloads",
 )

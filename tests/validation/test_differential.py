@@ -1,0 +1,63 @@
+"""Differential-oracle harness: independent implementations must agree.
+
+These are the acceptance bounds of the validation subsystem: the
+water-fill matches the LP reference to 1e-6 relative error and the packet
+simulator matches the fluid simulator to 5 % on randomized cases.  Set
+``R2C2_VALIDATION_CASES`` to shrink the sweeps for a CI smoke slice.
+"""
+
+import os
+
+import pytest
+
+from repro.validation import (
+    random_connected_topology,
+    random_single_path_specs,
+    sim_vs_fluid_report,
+    sim_vs_maze_report,
+    waterfill_vs_lp_case,
+    waterfill_vs_lp_report,
+)
+
+pytestmark = pytest.mark.validation
+
+#: Acceptance demands >= 20 randomized cases for the bounded oracles.
+_N_CASES = int(os.environ.get("R2C2_VALIDATION_CASES", "20"))
+
+
+class TestWaterfillVsLp:
+    def test_bound_1e6_over_randomized_cases(self):
+        report = waterfill_vs_lp_report(n_cases=_N_CASES, seed=0, tolerance=1e-6)
+        assert report.n_cases == _N_CASES
+        assert report.ok, report.summary()
+
+    def test_case_carries_per_flow_errors(self):
+        topology = random_connected_topology(42)
+        specs = random_single_path_specs(42, topology, n_flows=6)
+        case = waterfill_vs_lp_case(topology, specs, seed=42)
+        assert len(case.per_flow_rel_error) == 6
+        assert case.max_rel_error <= 1e-6
+
+    def test_report_summary_names_worst_seed(self):
+        report = waterfill_vs_lp_report(n_cases=3, seed=9)
+        assert "waterfill-vs-lp" in report.summary()
+        assert report.worst() in report.cases
+
+
+class TestSimVsFluid:
+    def test_bound_5pct_over_randomized_cases(self):
+        report = sim_vs_fluid_report(n_cases=_N_CASES, seed=0, tolerance=0.05)
+        assert report.n_cases == _N_CASES
+        assert report.ok, report.summary()
+        # Every case compares every flow, not a survivor subset.
+        assert all(len(c.per_flow_rel_error) == c.n_flows for c in report.cases)
+
+
+class TestSimVsMaze:
+    def test_emulation_tracks_simulator(self):
+        # The emulator quantizes time and ships 8 KB slots, so this bound is
+        # deliberately loose (Figure 7 claims agreement, not equality).
+        n_cases = min(_N_CASES, 5)
+        report = sim_vs_maze_report(n_cases=n_cases, seed=0, tolerance=0.35)
+        assert report.n_cases == n_cases
+        assert report.ok, report.summary()
