@@ -1,0 +1,154 @@
+"""Controller epoch cost: demand-churn epochs vs short-circuited idle ones.
+
+Drives one :class:`~repro.congestion.controller.RateController` through
+steady-state epochs on a 512-node torus with 512 flows and reads the cost
+from its own ``RecomputeStats`` — the quantity Figure 8 reports.  Two
+regimes are measured:
+
+* ``epoch_512flows_demand_churn`` — one flow's demand estimate changes
+  between epochs, forcing a full (warm-matrix) water-fill;
+* ``epoch_512flows_idle`` — nothing changed, the generation short-circuit
+  returns the previous allocation.
+
+The script also *asserts* the paper's feasibility claim on CI hardware
+with generous margin: an idle epoch must cost well under the 500 µs
+interval ρ, and even a churn epoch must stay within ``CHURN_RHO_BUDGET``
+intervals (it runs amortized across nodes in practice).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf/bench_controller_epoch.py
+        [--quick] [--check] [--record --rev <label>]
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from perfcommon import (
+    REPO_ROOT,
+    check_regression,
+    load_history,
+    make_parser,
+    record_entry,
+    report,
+    save_history,
+)
+
+from repro.congestion.controller import RateController
+from repro.congestion.flowstate import FlowSpec
+from repro.congestion.linkweights import WeightProvider
+from repro.topology import TorusTopology
+from repro.types import usec
+
+SEED = 7
+N_FLOWS = 512
+DIMS = (8, 8, 8)
+EPOCHS = 20
+QUICK = (128, (4, 4, 4), 8)
+RHO_NS = usec(500)
+#: A demand-churn epoch may cost at most this many intervals on CI hardware.
+CHURN_RHO_BUDGET = 40
+
+
+def run_scenarios(n_flows: int, dims: tuple, epochs: int) -> dict:
+    topo = TorusTopology(dims)
+    controller = RateController(topo, 0, provider=WeightProvider(topo))
+    rng = random.Random(SEED)
+    for i in range(n_flows):
+        src = rng.randrange(topo.n_nodes)
+        dst = rng.randrange(topo.n_nodes - 1)
+        if dst >= src:
+            dst += 1
+        controller.table.add(FlowSpec(i, src, dst, "rps"))
+    now = 0
+    controller.recompute(now)  # warm: assembles and caches the level matrix
+
+    churn = []
+    for _ in range(epochs):
+        now += RHO_NS
+        controller.table.update_demand(rng.randrange(n_flows), rng.uniform(1e8, 1e10))
+        controller.recompute(now)
+        stats = controller.stats[-1]
+        assert not stats.skipped, "demand churn must force a real recompute"
+        churn.append(stats.duration_ns)
+
+    idle = []
+    for _ in range(epochs):
+        now += RHO_NS
+        controller.recompute(now)
+        stats = controller.stats[-1]
+        assert stats.skipped, "unchanged table must short-circuit"
+        idle.append(stats.duration_ns)
+
+    churn_ns = statistics.median(churn)
+    idle_ns = statistics.median(idle)
+    # The paper's feasibility bar (§3.3.2 / Figure 8): recomputation must
+    # fit in the interval.  Idle epochs must beat rho outright; churn
+    # epochs get a generous CI-hardware budget.
+    assert idle_ns < RHO_NS, (
+        f"idle epoch {idle_ns} ns exceeds rho={RHO_NS} ns"
+    )
+    assert churn_ns < CHURN_RHO_BUDGET * RHO_NS, (
+        f"churn epoch {churn_ns} ns exceeds {CHURN_RHO_BUDGET}x rho"
+    )
+    base = {"n_flows": n_flows, "dims": "x".join(map(str, dims)), "seed": SEED}
+    return {
+        "epoch_demand_churn": {
+            "median_s": round(churn_ns / 1e9, 6),
+            "median_epoch_ns": int(churn_ns),
+            "rho_fraction": round(churn_ns / RHO_NS, 3),
+            **base,
+        },
+        "epoch_idle_short_circuit": {
+            "median_s": round(idle_ns / 1e9, 9),
+            "median_epoch_ns": int(idle_ns),
+            "rho_fraction": round(idle_ns / RHO_NS, 6),
+            **base,
+        },
+    }
+
+
+def main() -> int:
+    args = make_parser(__doc__.splitlines()[0]).parse_args()
+    out = args.out or (REPO_ROOT / "BENCH_waterfill.json")
+    doc = load_history(out, "bench_waterfill")
+    print("bench_controller_epoch" + (" (quick)" if args.quick else ""))
+    n_flows, dims, epochs = (
+        QUICK if args.quick else (N_FLOWS, DIMS, EPOCHS)
+    )
+    entries = run_scenarios(n_flows, dims, epochs)
+    failures = []
+    for scenario, entry in entries.items():
+        name = f"{scenario}_{n_flows}flows"
+        report(name, entry)
+        # Quick mode shrinks the scenario; only full runs compare against
+        # the recorded history.
+        if args.check and not args.quick:
+            error = check_regression(doc, name, entry["median_s"])
+            if error:
+                failures.append(error)
+        if args.record and not args.quick:
+            entry["rev"] = args.rev
+            record_entry(
+                doc,
+                name,
+                f"RecomputeStats median over {epochs} steady-state epochs, "
+                f"{n_flows} flows on a {'x'.join(map(str, dims))} torus "
+                f"({scenario.replace('_', ' ')})",
+                entry,
+            )
+    if args.record and not args.quick:
+        save_history(out, doc)
+        print(f"recorded to {out}")
+    for error in failures:
+        print(f"REGRESSION: {error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

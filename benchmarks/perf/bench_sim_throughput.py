@@ -1,0 +1,106 @@
+"""End-to-end simulator throughput on a fixed-seed Poisson workload.
+
+Runs the full R2C2 stack (shared control plane) on a 64-node torus and
+records wall-clock and events/s into ``BENCH_sim.json``.  Note that
+``events_processed`` is not comparable across revisions that change event
+batching (a coalesced broadcast fan-out counts as one event); wall-clock
+for the identical workload is the cross-revision metric.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sim_throughput.py [--quick]
+        [--check] [--record --rev <label>]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from perfcommon import (
+    REPO_ROOT,
+    check_regression,
+    load_history,
+    make_parser,
+    record_entry,
+    report,
+    save_history,
+)
+
+from repro.sim import SimConfig, run_simulation
+from repro.topology import TorusTopology
+from repro.workloads import ParetoSizes, poisson_trace
+
+SCENARIOS = {
+    # name: (n_flows, dims, reps)
+    "sim_r2c2_200flows_4x4x4": (200, (4, 4, 4), 3),
+}
+QUICK_FLOWS = 60
+SEED = 0
+
+
+def run_scenario(n_flows: int, dims: tuple, reps: int) -> dict:
+    topo = TorusTopology(dims)
+    trace = poisson_trace(
+        topo,
+        n_flows,
+        5000,
+        sizes=ParetoSizes(mean_bytes=100 * 1024, shape=1.05, cap_bytes=20_000_000),
+        seed=SEED,
+    )
+    runs = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        metrics = run_simulation(topo, trace, SimConfig(stack="r2c2", seed=SEED))
+        runs.append((time.perf_counter() - started, metrics.events_processed))
+    runs.sort()
+    median_s, events = runs[len(runs) // 2]
+    return {
+        "median_s": round(median_s, 4),
+        "events_processed": events,
+        "events_per_s": round(events / median_s, 1),
+        "n_flows": n_flows,
+        "dims": "x".join(map(str, dims)),
+        "seed": SEED,
+    }
+
+
+def main() -> int:
+    args = make_parser(__doc__.splitlines()[0]).parse_args()
+    out = args.out or (REPO_ROOT / "BENCH_sim.json")
+    doc = load_history(out, "bench_sim_throughput")
+    print("bench_sim_throughput" + (" (quick)" if args.quick else ""))
+    failures = []
+    for name, (n_flows, dims, reps) in SCENARIOS.items():
+        if args.quick:
+            n_flows, reps = QUICK_FLOWS, 1
+        entry = run_scenario(n_flows, dims, reps)
+        report(name, entry)
+        # Quick mode simulates a smaller workload; its timings are not
+        # comparable to the recorded full-size history, so --check only
+        # gates full runs.
+        if args.check and not args.quick:
+            error = check_regression(doc, name, entry["median_s"])
+            if error:
+                failures.append(error)
+        if args.record and not args.quick:
+            entry["rev"] = args.rev
+            record_entry(
+                doc,
+                name,
+                f"run_simulation of {n_flows} Poisson pareto flows, r2c2 "
+                f"stack, {'x'.join(map(str, dims))} torus, seed {SEED}",
+                entry,
+            )
+    if args.record and not args.quick:
+        save_history(out, doc)
+        print(f"recorded to {out}")
+    for error in failures:
+        print(f"REGRESSION: {error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

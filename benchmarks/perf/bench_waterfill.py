@@ -1,0 +1,108 @@
+"""Microbenchmark: the water-fill allocator on a 512-node torus.
+
+Measures one fill over a fixed random flow set with a warm
+:class:`~repro.congestion.linkweights.WeightProvider` — the steady-state
+cost every controller pays per epoch (paper Figure 8's x-axis regime).
+Records median wall-clock and flows/s into ``BENCH_waterfill.json``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf/bench_waterfill.py [--quick]
+        [--check] [--record --rev <label>]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from perfcommon import (
+    REPO_ROOT,
+    check_regression,
+    load_history,
+    make_parser,
+    median_time,
+    record_entry,
+    report,
+    save_history,
+)
+
+from repro.congestion.flowstate import FlowSpec
+from repro.congestion.linkweights import WeightProvider
+from repro.congestion.waterfill import waterfill
+from repro.topology import TorusTopology
+
+SCENARIOS = {
+    # name: (n_flows, torus dims, reps)
+    "waterfill_512flows_8x8x8": (512, (8, 8, 8), 7),
+    "waterfill_128flows_4x4x4": (128, (4, 4, 4), 9),
+}
+QUICK_REPS = 3
+SEED = 42
+HEADROOM = 0.05
+
+
+def random_flows(topo, n_flows: int, seed: int):
+    rng = random.Random(seed)
+    flows = []
+    for i in range(n_flows):
+        src = rng.randrange(topo.n_nodes)
+        dst = rng.randrange(topo.n_nodes - 1)
+        if dst >= src:
+            dst += 1
+        flows.append(FlowSpec(i, src, dst, "rps"))
+    return flows
+
+
+def run_scenario(n_flows: int, dims: tuple, reps: int) -> dict:
+    topo = TorusTopology(dims)
+    provider = WeightProvider(topo)
+    flows = random_flows(topo, n_flows, SEED)
+    waterfill(topo, flows, provider, headroom=HEADROOM)  # warm the caches
+    median_s = median_time(
+        lambda: waterfill(topo, flows, provider, headroom=HEADROOM), reps
+    )
+    return {
+        "median_s": round(median_s, 6),
+        "flows_per_s": round(n_flows / median_s, 1),
+        "n_flows": n_flows,
+        "dims": "x".join(map(str, dims)),
+        "seed": SEED,
+    }
+
+
+def main() -> int:
+    args = make_parser(__doc__.splitlines()[0]).parse_args()
+    out = args.out or (REPO_ROOT / "BENCH_waterfill.json")
+    doc = load_history(out, "bench_waterfill")
+    print("bench_waterfill" + (" (quick)" if args.quick else ""))
+    failures = []
+    for name, (n_flows, dims, reps) in SCENARIOS.items():
+        if args.quick:
+            reps = QUICK_REPS
+        entry = run_scenario(n_flows, dims, reps)
+        report(name, entry)
+        error = check_regression(doc, name, entry["median_s"]) if args.check else ""
+        if error:
+            failures.append(error)
+        if args.record and not args.quick:
+            entry["rev"] = args.rev
+            record_entry(
+                doc,
+                name,
+                f"one waterfill() over {n_flows} random rps flows on a "
+                f"{'x'.join(map(str, dims))} torus, warm weight cache",
+                entry,
+            )
+    if args.record and not args.quick:
+        save_history(out, doc)
+        print(f"recorded to {out}")
+    for error in failures:
+        print(f"REGRESSION: {error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -111,11 +111,23 @@ def cmd_simulate(args) -> int:
         sizes=ParetoSizes(mean_bytes=args.mean_bytes, shape=1.05, cap_bytes=20_000_000),
         seed=args.seed,
     )
-    metrics = run_simulation(
-        topo,
-        trace,
-        SimConfig(stack=args.stack, reliable=args.reliable, seed=args.seed),
-    )
+    config = SimConfig(stack=args.stack, reliable=args.reliable, seed=args.seed)
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        metrics = run_simulation(topo, trace, config)
+        profiler.disable()
+        if args.profile == "-":
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(30)
+        else:
+            profiler.dump_stats(args.profile)
+            print(f"profile written to {args.profile} "
+                  f"(inspect with: python -m pstats {args.profile})")
+    else:
+        metrics = run_simulation(topo, trace, config)
     print(f"stack={args.stack} on {topo.name}: "
           f"{len(trace)} flows, {metrics.duration_ns / 1e6:.2f} ms simulated, "
           f"{metrics.wallclock_s:.1f} s wall")
@@ -216,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--mean-bytes", type=int, default=100 * 1024)
     p_sim.add_argument("--reliable", action="store_true")
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--profile", nargs="?", const="-", default=None,
+                       metavar="FILE",
+                       help="profile the run with cProfile; dump stats to "
+                            "FILE, or print the top entries when no FILE "
+                            "is given")
     p_sim.set_defaults(func=cmd_simulate)
 
     p_fig2 = sub.add_parser("figure2", help="print the Figure 2 routing table")

@@ -22,11 +22,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import CongestionControlError
+from ..lru import BoundedLru
 from ..topology.base import Topology
 from ..types import FlowId, NodeId, usec
 from .flowstate import FlowSpec, FlowTable
 from .linkweights import WeightProvider
-from .waterfill import RateAllocation, waterfill
+from .waterfill import RateAllocation, effective_capacities, waterfill
 
 
 @dataclass
@@ -81,12 +82,19 @@ class ControllerConfig:
 
 @dataclass
 class RecomputeStats:
-    """Wall-clock accounting of one rate recomputation (Figure 8)."""
+    """Wall-clock accounting of one rate recomputation (Figure 8).
+
+    Attributes:
+        skipped: True when the epoch was short-circuited because the flow
+            table had not changed since the last allocation — the recorded
+            duration is then just the cost of the generation check.
+    """
 
     at_ns: int
     n_flows: int
     duration_ns: int
     interval_ns: int
+    skipped: bool = False
 
     @property
     def cpu_overhead(self) -> float:
@@ -123,6 +131,7 @@ class RateController:
         # pay for each distinct water-fill once.
         self._allocation_cache = allocation_cache
         self._table = FlowTable()
+        self._effective_cap = None  # headroom-adjusted capacities, lazy
         self._allocation: Optional[RateAllocation] = None
         self._allocated_generation = -1
         self._known_at_last_epoch: set = set()
@@ -226,9 +235,31 @@ class RateController:
         return self.recompute(now_ns)
 
     def recompute(self, now_ns: int) -> RateAllocation:
-        """Water-fill over the node's current view; records wall-clock cost."""
-        flows = self._table.snapshot()
+        """Water-fill over the node's current view; records wall-clock cost.
+
+        An epoch where the flow table's generation is unchanged since the
+        last allocation is short-circuited: nothing a water-fill reads has
+        moved, so the previous allocation is returned and a zero-cost
+        :class:`RecomputeStats` (``skipped=True``) is recorded.
+        """
         started = time.perf_counter_ns()
+        if (
+            self._allocation is not None
+            and self._table.generation == self._allocated_generation
+        ):
+            # _young_rates is necessarily empty here: pinning one requires a
+            # table.add(), which would have bumped the generation.
+            self._stats.append(
+                RecomputeStats(
+                    at_ns=now_ns,
+                    n_flows=len(self._table),
+                    duration_ns=time.perf_counter_ns() - started,
+                    interval_ns=self._config.recompute_interval_ns,
+                    skipped=True,
+                )
+            )
+            return self._allocation
+        flows = self._table.snapshot()
         allocation = self._cached_waterfill(flows)
         duration = time.perf_counter_ns() - started
         self._allocation = allocation
@@ -245,27 +276,47 @@ class RateController:
         )
         return allocation
 
+    def _effective_capacities(self):
+        """The headroom-adjusted capacity vector, computed once per node."""
+        if self._effective_cap is None:
+            self._effective_cap = effective_capacities(
+                self._topology, self._config.headroom
+            )
+        return self._effective_cap
+
     def _cached_waterfill(self, flows) -> RateAllocation:
-        """Water-fill with optional cross-controller memoization."""
+        """Water-fill with optional cross-controller memoization.
+
+        The memo key is O(1): the table's order-independent content
+        fingerprint plus the headroom.  Controllers on different nodes whose
+        broadcast views agree therefore share one fill per distinct traffic
+        matrix, without hashing an O(n) tuple of specs per epoch.  The
+        headroom-adjusted capacity vector is likewise computed once and
+        passed straight through (``headroom=0.0``), which is mathematically
+        identical to recomputing it per fill.
+        """
         if self._allocation_cache is None:
             return waterfill(
-                self._topology, flows, self._provider, headroom=self._config.headroom
+                self._topology,
+                flows,
+                self._provider,
+                headroom=0.0,
+                capacities=self._effective_capacities(),
             )
-        key = (
-            self._config.headroom,
-            tuple(
-                (s.flow_id, s.src, s.dst, s.protocol, s.weight, s.priority, s.demand_bps)
-                for s in flows
-            ),
-        )
+        key = (self._config.headroom,) + self._table.content_key
         allocation = self._allocation_cache.get(key)
         if allocation is None:
             allocation = waterfill(
-                self._topology, flows, self._provider, headroom=self._config.headroom
+                self._topology,
+                flows,
+                self._provider,
+                headroom=0.0,
+                capacities=self._effective_capacities(),
             )
-            # Bound the memo; evict oldest entries FIFO.
-            if len(self._allocation_cache) >= 4096:
-                self._allocation_cache.pop(next(iter(self._allocation_cache)))
+            if not isinstance(self._allocation_cache, BoundedLru):
+                # Legacy plain-dict caches: bound by FIFO eviction.
+                if len(self._allocation_cache) >= 4096:
+                    self._allocation_cache.pop(next(iter(self._allocation_cache)))
             self._allocation_cache[key] = allocation
         return allocation
 

@@ -71,21 +71,81 @@ class FlowSpec:
         return replace(self, protocol=protocol)
 
 
+#: Independent salts folding each spec into the table's content fingerprint.
+_FP_SALT_A = 0x9E3779B97F4A7C15
+_FP_SALT_B = 0xC2B2AE3D27D4EB4F
+_FP_MASK = (1 << 64) - 1
+
+
+def _spec_fingerprint(spec: FlowSpec, salt: int) -> int:
+    """64-bit hash of the allocation-relevant fields of one spec."""
+    return (
+        hash(
+            (
+                salt,
+                spec.flow_id,
+                spec.src,
+                spec.dst,
+                spec.protocol,
+                spec.weight,
+                spec.priority,
+                spec.demand_bps,
+            )
+        )
+        & _FP_MASK
+    )
+
+
 class FlowTable:
     """A node's view of all active flows in the rack.
 
     Mutations bump a generation counter so consumers (the rate controller)
     can cheaply detect whether anything changed since their last computation.
+    The table also maintains an O(1) *content* fingerprint — an XOR fold of
+    two independently salted hashes over every spec's allocation-relevant
+    fields — so controllers on different nodes whose views happen to agree
+    (same flows, possibly learned in different broadcast order) produce the
+    same :attr:`content_key` and can share memoized allocations.
     """
 
     def __init__(self) -> None:
         self._flows: Dict[FlowId, FlowSpec] = {}
         self._generation = 0
+        self._structure_generation = 0
+        self._fp_a = 0
+        self._fp_b = 0
 
     @property
     def generation(self) -> int:
         """Monotonic counter, incremented on every mutation."""
         return self._generation
+
+    @property
+    def structure_generation(self) -> int:
+        """Counter bumped on add/remove/reroute but *not* on demand updates.
+
+        The water-fill's weight matrix depends only on structure, so a
+        controller can warm-start (reuse the assembled matrix) whenever this
+        counter is unchanged even though demands churned.
+        """
+        return self._structure_generation
+
+    @property
+    def content_key(self) -> tuple:
+        """Order-independent O(1) digest of the table contents.
+
+        Two tables holding the same specs — regardless of mutation history —
+        have equal keys; the double-salted 64-bit fold makes accidental
+        collisions between *different* contents vanishingly unlikely.
+        """
+        return (len(self._flows), self._fp_a, self._fp_b)
+
+    def _fold_in(self, spec: FlowSpec) -> None:
+        self._fp_a ^= _spec_fingerprint(spec, _FP_SALT_A)
+        self._fp_b ^= _spec_fingerprint(spec, _FP_SALT_B)
+
+    # XOR is its own inverse, so folding a spec out is folding it in again.
+    _fold_out = _fold_in
 
     def __len__(self) -> int:
         return len(self._flows)
@@ -106,8 +166,13 @@ class FlowTable:
         Re-announcements (e.g. after a failure triggers a re-broadcast of all
         ongoing flows, §3.2) simply overwrite the stored spec.
         """
+        previous = self._flows.get(spec.flow_id)
+        if previous is not None:
+            self._fold_out(previous)
         self._flows[spec.flow_id] = spec
+        self._fold_in(spec)
         self._generation += 1
+        self._structure_generation += 1
 
     def remove(self, flow_id: FlowId) -> bool:
         """Record a flow-finish announcement; returns False if unknown.
@@ -115,9 +180,12 @@ class FlowTable:
         Unknown ids are tolerated because finish broadcasts can outrace the
         corresponding start broadcast along a different tree.
         """
-        if self._flows.pop(flow_id, None) is None:
+        spec = self._flows.pop(flow_id, None)
+        if spec is None:
             return False
+        self._fold_out(spec)
         self._generation += 1
+        self._structure_generation += 1
         return True
 
     def update_demand(self, flow_id: FlowId, demand_bps: float) -> bool:
@@ -125,7 +193,10 @@ class FlowTable:
         spec = self._flows.get(flow_id)
         if spec is None:
             return False
-        self._flows[flow_id] = spec.with_demand(demand_bps)
+        updated = spec.with_demand(demand_bps)
+        self._fold_out(spec)
+        self._flows[flow_id] = updated
+        self._fold_in(updated)
         self._generation += 1
         return True
 
@@ -134,8 +205,12 @@ class FlowTable:
         spec = self._flows.get(flow_id)
         if spec is None:
             return False
-        self._flows[flow_id] = spec.with_protocol(protocol)
+        updated = spec.with_protocol(protocol)
+        self._fold_out(spec)
+        self._flows[flow_id] = updated
+        self._fold_in(updated)
         self._generation += 1
+        self._structure_generation += 1
         return True
 
     def flows_from(self, node: NodeId) -> List[FlowSpec]:

@@ -6,20 +6,101 @@ that role: it owns one instance of each routing protocol bound to the
 topology and memoizes the sparse weight vector of every (protocol, src, dst)
 triple it is asked for.  ECMP weights additionally depend on the flow id
 (the hash picks the path), which the cache key accounts for.
+
+On top of the per-flow vectors the provider assembles — and caches — one
+CSR weight matrix per water-fill priority level (:class:`LevelMatrix`):
+flows are rows, links are columns.  The cache is keyed by the flow set's
+``(protocol, src, dst)`` signature, which demands do *not* enter, so the
+steady-state control loop (same flows, new demand estimates every epoch)
+reuses the assembled matrix and pays only for the vectorized freeze rounds.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..lru import BoundedLru
 from ..routing.base import RoutingProtocol, make_protocol
 from ..topology.base import Topology
 from .flowstate import FlowSpec
 
 #: A sparse weight vector: (link ids, fractions), parallel arrays.
 SparseWeights = Tuple[np.ndarray, np.ndarray]
+
+#: Assembled level matrices retained per provider.  Each entry is O(nnz);
+#: steady-state workloads cycle through a handful of flow-set signatures.
+_MATRIX_CACHE_BOUND = 128
+
+
+@dataclass(frozen=True)
+class LevelMatrix:
+    """One priority level's flows-by-links weight matrix, CSR + CSC.
+
+    The CSR arrays (``indptr``/``indices``/``data``) hold each flow's raw
+    protocol weights ``w_{f,l}`` row by row (link ids are unique and sorted
+    within a row).  The CSC pattern (``col_indptr``/``col_rows``) answers
+    the inverse question — which flows cross a link — replacing the Python
+    ``flows_on_link`` list-of-lists in the water-fill's freeze rounds.
+    """
+
+    n_flows: int
+    n_links: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    row_nnz: np.ndarray
+    col_indptr: np.ndarray
+    col_rows: np.ndarray
+
+    @classmethod
+    def build(cls, rows: List[SparseWeights], n_links: int) -> "LevelMatrix":
+        """Assemble the matrix from per-flow sparse rows."""
+        n_flows = len(rows)
+        row_nnz = np.fromiter(
+            (idx.size for idx, _ in rows), dtype=np.int64, count=n_flows
+        )
+        indptr = np.zeros(n_flows + 1, dtype=np.int64)
+        np.cumsum(row_nnz, out=indptr[1:])
+        nnz = int(indptr[-1]) if n_flows else 0
+        if nnz:
+            indices = np.concatenate([idx for idx, _ in rows])
+            data = np.concatenate([val for _, val in rows])
+        else:
+            indices = np.empty(0, dtype=np.int64)
+            data = np.empty(0, dtype=np.float64)
+        order = np.argsort(indices, kind="stable")
+        col_rows = np.repeat(np.arange(n_flows, dtype=np.int64), row_nnz)[order]
+        col_indptr = np.zeros(n_links + 1, dtype=np.int64)
+        if nnz:
+            np.cumsum(np.bincount(indices, minlength=n_links), out=col_indptr[1:])
+        return cls(
+            n_flows=n_flows,
+            n_links=n_links,
+            indptr=indptr,
+            indices=indices,
+            data=data,
+            row_nnz=row_nnz,
+            col_indptr=col_indptr,
+            col_rows=col_rows,
+        )
+
+    def flows_on_link(self, link: int) -> np.ndarray:
+        """Row indices of the flows crossing *link*."""
+        return self.col_rows[self.col_indptr[link] : self.col_indptr[link + 1]]
+
+    def nbytes(self) -> int:
+        """Approximate memory held by the matrix arrays."""
+        return (
+            self.indptr.nbytes
+            + self.indices.nbytes
+            + self.data.nbytes
+            + self.row_nnz.nbytes
+            + self.col_indptr.nbytes
+            + self.col_rows.nbytes
+        )
 
 
 class WeightProvider:
@@ -35,6 +116,9 @@ class WeightProvider:
         self._topology = topology
         self._protocols: Dict[str, RoutingProtocol] = dict(protocols or {})
         self._cache: Dict[tuple, SparseWeights] = {}
+        self._matrix_cache = BoundedLru(_MATRIX_CACHE_BOUND)
+        #: per protocol name: do weights depend on the flow id (ECMP)?
+        self._flow_keyed: Dict[str, bool] = {}
 
     @property
     def topology(self) -> Topology:
@@ -49,13 +133,20 @@ class WeightProvider:
             self._protocols[name] = instance
         return instance
 
+    def _row_key(self, spec: FlowSpec) -> tuple:
+        """The identity of one flow's weight row: (protocol, src, dst[, id])."""
+        keyed = self._flow_keyed.get(spec.protocol)
+        if keyed is None:
+            keyed = _weights_depend_on_flow_id(self.protocol(spec.protocol))
+            self._flow_keyed[spec.protocol] = keyed
+        return (spec.protocol, spec.src, spec.dst, spec.flow_id if keyed else 0)
+
     def weights_for(self, spec: FlowSpec) -> SparseWeights:
         """Sparse link-weight vector for one flow."""
-        protocol = self.protocol(spec.protocol)
-        flow_key = spec.flow_id if _weights_depend_on_flow_id(protocol) else 0
-        key = (spec.protocol, spec.src, spec.dst, flow_key)
+        key = self._row_key(spec)
         cached = self._cache.get(key)
         if cached is None:
+            protocol = self.protocol(spec.protocol)
             weights = protocol.link_weights(spec.src, spec.dst, flow_id=spec.flow_id)
             if weights:
                 items = sorted(weights.items())
@@ -68,12 +159,29 @@ class WeightProvider:
             self._cache[key] = cached
         return cached
 
+    def level_matrix(self, flows: Sequence[FlowSpec]) -> LevelMatrix:
+        """The assembled CSR/CSC weight matrix for *flows*, cached.
+
+        The cache key is the ordered tuple of row identities — protocol,
+        endpoints and (for flow-keyed protocols) the flow id.  Weights,
+        priorities and demands are applied by the caller per fill, so an
+        epoch that only changed demand estimates hits this cache and skips
+        assembly entirely (the water-fill's warm-start path).
+        """
+        key = tuple(self._row_key(spec) for spec in flows)
+        matrix = self._matrix_cache.get(key)
+        if matrix is None:
+            rows = [self.weights_for(spec) for spec in flows]
+            matrix = LevelMatrix.build(rows, self._topology.n_links)
+            self._matrix_cache[key] = matrix
+        return matrix
+
     def cache_size(self) -> int:
         """Number of memoized weight vectors (for memory-footprint checks)."""
         return len(self._cache)
 
     def memory_footprint_bytes(self) -> int:
-        """Approximate bytes held by cached vectors.
+        """Approximate bytes held by cached vectors and level matrices.
 
         Mirrors the paper's §4.2 memory estimate (< 6 MB per protocol for a
         512-node rack).
@@ -81,6 +189,8 @@ class WeightProvider:
         total = 0
         for idx, val in self._cache.values():
             total += idx.nbytes + val.nbytes
+        for matrix in self._matrix_cache.values():
+            total += matrix.nbytes()
         return total
 
 

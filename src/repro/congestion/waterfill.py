@@ -15,16 +15,20 @@ from every link capacity before allocation, host-limited flows freeze early
 at their *demand*, and *priorities* are handled by running the fill once per
 priority level on the capacity left over by more important levels.
 
-The implementation is vectorized: flows are rows of a sparse weight matrix,
-links are columns, and each iteration does O(E) numpy work plus O(nnz of
-newly frozen rows) bookkeeping, for an overall O(N·L + nnz) bound matching
-the paper's O(N·L + N^2).
+The implementation is matrix-form: each priority level's flows are the rows
+of a CSR weight matrix over links (assembled once and cached inside the
+:class:`~repro.congestion.linkweights.WeightProvider`, keyed by the flow
+set's routing signature), the per-link denominators and live counts are
+``bincount`` reductions over the matrix, and every freeze round is a
+boolean-mask update — no Python-level per-flow loops survive on the hot
+path.  Overall O(N·L + nnz) as before, but with the constant factors of
+vectorized numpy rather than interpreted bookkeeping.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -37,6 +41,9 @@ from .linkweights import WeightProvider
 
 #: Relative tolerance for deciding that a link is saturated.
 _REL_TOL = 1e-9
+
+#: Shared empty index array for rounds that freeze nothing in a category.
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
 
 
 @dataclass
@@ -125,7 +132,8 @@ def waterfill(
         headroom: Fraction of every link reserved for not-yet-announced
             flows (5 % in the paper's experiments).
         capacities: Optional per-link capacity override (bits/s), e.g. for
-            modelling degraded links.
+            modelling degraded links, or a precomputed effective-capacity
+            vector (pass ``headroom=0.0`` to use it as-is).
 
     Returns:
         A :class:`RateAllocation`.
@@ -161,6 +169,19 @@ def waterfill(
     )
 
 
+def _ragged_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``[start, start+count)`` index ranges, vectorized.
+
+    Selects the CSR slices of many rows at once — the boolean-mask analogue
+    of iterating ``indptr[i]:indptr[i+1]`` per frozen flow.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    shifts = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]))
+    return np.repeat(starts - shifts, counts) + np.arange(total, dtype=np.int64)
+
+
 def _fill_one_level(
     topology: Topology,
     flows: List[FlowSpec],
@@ -180,66 +201,64 @@ def _fill_one_level(
     if n_flows == 0:
         return 0
 
-    # Gather sparse weight rows once.  ``contrib[f]`` are the per-link
-    # coefficients phi_f * w_{f,l}: the load flow f puts on each link per
-    # unit of fill level t (its rate being phi_f * t).
-    idx_rows: List[np.ndarray] = []
-    contrib_rows: List[np.ndarray] = []
-    phi = np.empty(n_flows, dtype=np.float64)
-    demand_level = np.empty(n_flows, dtype=np.float64)  # t at which demand binds
-    for i, spec in enumerate(flows):
-        idx, val = provider.weights_for(spec)
-        idx_rows.append(idx)
-        contrib_rows.append(val * spec.weight)
-        phi[i] = spec.weight
-        demand_level[i] = (
-            spec.demand_bps / spec.weight if math.isfinite(spec.demand_bps) else math.inf
-        )
+    # The level's CSR/CSC weight matrix, cached across fills by routing
+    # signature.  ``contrib`` scales each row by its flow's allocation
+    # weight: the load flow f puts on each link per unit of fill level t
+    # (its rate being phi_f * t).
+    matrix = provider.level_matrix(flows)
+    flow_ids = [spec.flow_id for spec in flows]
+    phi = np.fromiter((spec.weight for spec in flows), dtype=np.float64, count=n_flows)
+    demand = np.fromiter(
+        (spec.demand_bps for spec in flows), dtype=np.float64, count=n_flows
+    )
+    with np.errstate(invalid="ignore"):
+        demand_level = np.where(np.isfinite(demand), demand / phi, np.inf)
 
-    # Sum of unfrozen contributions per link.
-    denom = np.zeros(n_links, dtype=np.float64)
-    for idx, contrib in zip(idx_rows, contrib_rows):
-        np.add.at(denom, idx, contrib)
+    contrib = matrix.data * np.repeat(phi, matrix.row_nnz)
+    # Sum of unfrozen contributions per link, plus an exact count of
+    # unfrozen flows per link: floating-point dust left by incremental
+    # subtraction must not make an all-frozen link look like a (tiny)
+    # bottleneck.
+    denom = np.bincount(matrix.indices, weights=contrib, minlength=n_links)
+    live_count = np.bincount(matrix.indices, minlength=n_links)
+
+    # Rates and bottlenecks are kept as flat arrays during the fill and
+    # written to the result dicts once at the end (-1 means "no bottleneck
+    # link": demand-frozen or link-less).
+    rate_arr = np.zeros(n_flows, dtype=np.float64)
+    bn_arr = np.full(n_flows, -1, dtype=np.int64)
 
     unfrozen = np.ones(n_flows, dtype=bool)
     # Flows that touch no links (src == dst) are only demand- or
     # capacity-bound; freeze them immediately.
-    for i, spec in enumerate(flows):
-        if idx_rows[i].size == 0:
-            cap_bound = topology.capacity_bps
-            rates[spec.flow_id] = min(spec.demand_bps, cap_bound)
-            bottleneck[spec.flow_id] = None
-            unfrozen[i] = False
+    empty_rows = matrix.row_nnz == 0
+    if empty_rows.any():
+        rate_arr[empty_rows] = np.minimum(demand[empty_rows], topology.capacity_bps)
+        unfrozen[empty_rows] = False
 
-    # Links-to-flows reverse index, for finding who a saturated link freezes,
-    # plus an exact count of unfrozen flows per link: floating-point dust
-    # left by incremental subtraction must not make an all-frozen link look
-    # like a (tiny) bottleneck.
-    flows_on_link: List[List[int]] = [[] for _ in range(n_links)]
-    live_count = np.zeros(n_links, dtype=np.int64)
-    for i, idx in enumerate(idx_rows):
-        if unfrozen[i]:
-            for link in idx:
-                flows_on_link[link].append(i)
-            if idx.size:
-                np.add.at(live_count, idx, 1)
+    #: fill level at which each *unfrozen* flow's demand binds; frozen
+    #: flows are masked to +inf so one vectorized min covers the round.
+    demand_gate = np.where(unfrozen, demand_level, np.inf)
 
     level = 0.0  # current fill level t
     slack = residual.astype(np.float64).copy()
     rounds = 0
+    n_live = int(unfrozen.sum())
+    t_rel = np.empty(n_links, dtype=np.float64)  # reused across rounds
+    indptr = matrix.indptr
+    indices = matrix.indices
 
-    while unfrozen.any():
+    while n_live:
         rounds += 1
-        # Fill level at which each link saturates.
-        with np.errstate(divide="ignore", invalid="ignore"):
-            t_link = np.where(denom > 0, slack / np.where(denom > 0, denom, 1.0), np.inf)
-        t_sat = level + np.maximum(t_link, 0.0)
+        # Fill level *increment* at which each link saturates (relative to
+        # the current level; slack >= 0 and denom > 0 keep it nonnegative).
+        pos = denom > 0.0
+        t_rel.fill(np.inf)
+        np.divide(slack, denom, out=t_rel, where=pos)
 
-        # Fill level at which each unfrozen flow's demand binds.
-        live = np.where(unfrozen)[0]
-        t_demand = demand_level[live]
-        t_star = min(float(t_sat.min(initial=math.inf)), float(t_demand.min(initial=math.inf)))
-
+        t_rel_min = float(t_rel.min(initial=math.inf))
+        dem_min = float(demand_gate.min(initial=math.inf))
+        t_star = min(level + t_rel_min, dem_min)
         if math.isinf(t_star):
             # No capacity constraint and no finite demand: flows are
             # unconstrained, which only happens with zero-weight links —
@@ -249,59 +268,114 @@ def _fill_one_level(
             )
 
         tol = _REL_TOL * max(1.0, abs(t_star))
-        newly_frozen: List[int] = []
-        frozen_now = set()
+        frozen_parts: List[np.ndarray] = []
 
-        # Demand-frozen flows.
-        for i in live:
-            if demand_level[i] <= t_star + tol:
-                spec = flows[i]
-                rates[spec.flow_id] = spec.demand_bps
-                bottleneck[spec.flow_id] = None
-                newly_frozen.append(i)
-                frozen_now.add(i)
+        # Demand-frozen flows this round (frozen rows are masked to +inf).
+        dem_rows = _EMPTY_ROWS
+        if dem_min <= t_star + tol:
+            dem_rows = np.flatnonzero(demand_gate <= t_star + tol)
+            rate_arr[dem_rows] = demand[dem_rows]
+            unfrozen[dem_rows] = False
+            frozen_parts.append(dem_rows)
 
-        # Capacity-frozen flows: everyone crossing a link saturating at t*.
-        saturated_links = np.where(t_sat <= t_star + tol)[0]
-        for link in saturated_links:
-            for i in flows_on_link[link]:
-                if unfrozen[i] and i not in frozen_now:
-                    spec = flows[i]
-                    rates[spec.flow_id] = phi[i] * t_star
-                    bottleneck[spec.flow_id] = int(link)
-                    newly_frozen.append(i)
-                    frozen_now.add(i)
+        # Capacity-frozen flows: everyone crossing a link saturating at t*,
+        # found through the CSC pattern (link -> crossing rows).  Iterating
+        # saturated links in ascending order keeps the "first link wins"
+        # bottleneck attribution of the scalar implementation.
+        if t_rel_min <= (t_star - level) + tol:
+            for link in np.flatnonzero(t_rel <= (t_star - level) + tol):
+                rows_l = matrix.flows_on_link(link)
+                rows_l = rows_l[unfrozen[rows_l]]
+                if rows_l.size == 0:
+                    continue
+                rate_arr[rows_l] = phi[rows_l] * t_star
+                bn_arr[rows_l] = link
+                unfrozen[rows_l] = False
+                frozen_parts.append(rows_l)
 
-        if not newly_frozen:
+        if not frozen_parts:
             raise CongestionControlError("water-fill made no progress")
+        frozen_idx = (
+            frozen_parts[0]
+            if len(frozen_parts) == 1
+            else np.concatenate(frozen_parts)
+        )
 
-        # Advance the water level and retire frozen flows.
+        # Advance the water level.
         delta = t_star - level
         if delta > 0:
             slack -= denom * delta
             np.maximum(slack, 0.0, out=slack)
             level = t_star
-        for i in newly_frozen:
-            unfrozen[i] = False
-            idx, contrib = idx_rows[i], contrib_rows[i]
-            if idx.size:
-                np.subtract.at(denom, idx, contrib)
-                np.subtract.at(live_count, idx, 1)
-                # A frozen flow keeps consuming its allocation, but if it
-                # froze below the water level (demand-limited), the unused
-                # share returns to the pool.
-                spec = flows[i]
-                actual = rates[spec.flow_id]
-                implied = phi[i] * level
-                if actual < implied - tol:
-                    refund = (implied - actual) / phi[i]
-                    slack += contrib * refund
-        np.maximum(denom, 0.0, out=denom)
-        denom[live_count <= 0] = 0.0
 
-    # Commit this level's loads.
-    for i, spec in enumerate(flows):
-        idx, val = provider.weights_for(spec)
-        if idx.size:
-            np.add.at(load, idx, val * rates[spec.flow_id])
+        # Refund factor per demand-frozen flow: one that froze below the
+        # water level keeps consuming its allocation, but the unused share
+        # returns to the pool.
+        refund = None
+        if dem_rows.size:
+            implied = phi[dem_rows] * level
+            refunding = demand[dem_rows] < implied - tol
+            if refunding.any():
+                refund = np.zeros(dem_rows.size, dtype=np.float64)
+                refund[refunding] = (implied[refunding] - demand[dem_rows][refunding]) / phi[
+                    dem_rows[refunding]
+                ]
+
+        # Retire the frozen rows: subtract their contributions from the
+        # per-link denominators and live counts.  Most rounds freeze only a
+        # handful of flows, where per-row fancy-index updates (link ids are
+        # unique within a CSR row) beat full-width bincount passes.
+        if frozen_idx.size <= 4:
+            touched_parts = []
+            for i in frozen_idx.tolist():
+                seg = slice(indptr[i], indptr[i + 1])
+                cols = indices[seg]
+                denom[cols] -= contrib[seg]
+                live_count[cols] -= 1
+                touched_parts.append(cols)
+            if refund is not None:
+                for pos_r, i in enumerate(dem_rows.tolist()):
+                    if refund[pos_r] > 0.0:
+                        seg = slice(indptr[i], indptr[i + 1])
+                        slack[indices[seg]] += contrib[seg] * refund[pos_r]
+            touched = (
+                touched_parts[0]
+                if len(touched_parts) == 1
+                else np.concatenate(touched_parts)
+            ) if touched_parts else _EMPTY_ROWS
+        else:
+            take = _ragged_ranges(indptr[frozen_idx], matrix.row_nnz[frozen_idx])
+            touched = indices[take]
+            denom -= np.bincount(touched, weights=contrib[take], minlength=n_links)
+            live_count -= np.bincount(touched, minlength=n_links)
+            if refund is not None:
+                take_r = _ragged_ranges(indptr[dem_rows], matrix.row_nnz[dem_rows])
+                vals = contrib[take_r] * np.repeat(refund, matrix.row_nnz[dem_rows])
+                slack += np.bincount(
+                    indices[take_r], weights=vals, minlength=n_links
+                )
+
+        # Clear floating-point dust on the links we touched: a frozen-out
+        # link must not reappear as a (tiny) bottleneck.
+        if touched.size:
+            d = denom[touched]
+            np.maximum(d, 0.0, out=d)
+            d[live_count[touched] <= 0] = 0.0
+            denom[touched] = d
+
+        demand_gate[frozen_idx] = np.inf
+        n_live -= int(frozen_idx.size)
+
+    # Commit this level's loads from the rows already gathered in the
+    # matrix (no second weights_for pass), then flush the flat arrays into
+    # the result dicts.
+    if matrix.indices.size:
+        load += np.bincount(
+            matrix.indices,
+            weights=matrix.data * np.repeat(rate_arr, matrix.row_nnz),
+            minlength=n_links,
+        )
+    for fid, rate, bn in zip(flow_ids, rate_arr.tolist(), bn_arr.tolist()):
+        rates[fid] = rate
+        bottleneck[fid] = None if bn < 0 else bn
     return rounds

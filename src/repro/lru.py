@@ -1,0 +1,89 @@
+"""A small bounded LRU mapping used by the performance-critical caches.
+
+The allocation memo shared by per-node controllers and the
+:class:`~repro.congestion.linkweights.WeightProvider` level-matrix cache
+both need the same thing: a dict with an upper bound on entries, where a
+*hit* refreshes an entry's position and eviction removes the least recently
+used one.  ``functools.lru_cache`` does not fit (the key is computed by the
+caller and entries are inserted explicitly), so this module provides a tiny
+mapping built on ``OrderedDict``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterator, Optional
+
+
+class BoundedLru:
+    """A mapping bounded to *capacity* entries with LRU eviction.
+
+    ``get`` and ``__getitem__`` count as uses (move-to-end); inserting past
+    capacity evicts the least recently used entry.  The interface is the
+    subset of ``dict`` the caches actually exercise.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries retained."""
+        return self._capacity
+
+    def get(self, key, default=None):
+        """Return the value for *key* (refreshing it) or *default*."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def __getitem__(self, key):
+        value = self.get(key, _SENTINEL)
+        if value is _SENTINEL:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self._capacity:
+            self._data.popitem(last=False)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._data)
+
+    def pop(self, key, default=None):
+        """Remove *key* and return its value (or *default*)."""
+        return self._data.pop(key, default)
+
+    def clear(self) -> None:
+        """Drop every entry (the hit/miss counters are kept)."""
+        self._data.clear()
+
+    def keys(self):
+        """Current keys, least recently used first."""
+        return self._data.keys()
+
+    def values(self):
+        """Current values, least recently used first (order untouched)."""
+        return self._data.values()
+
+
+_SENTINEL = object()

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Mapping
 
-from ..topology.paths import ShortestPathDag
+from ..topology.paths import shared_dag
 from ..types import LinkId, NodeId
 from .base import RoutingProtocol, register_protocol
 from .weights import path_weights
@@ -51,7 +51,7 @@ class EcmpSinglePath(RoutingProtocol):
         if src == dst:
             path = [src]
         else:
-            dag = ShortestPathDag(self._topology, dst)
+            dag = shared_dag(self._topology, dst)
             path = [src]
             node = src
             hop = 0

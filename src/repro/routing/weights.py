@@ -18,7 +18,7 @@ from typing import Dict, List, Mapping
 
 from ..errors import RoutingError
 from ..topology.base import Topology
-from ..topology.paths import ShortestPathDag
+from ..topology.paths import shared_dag
 from ..types import LinkId, NodeId
 
 
@@ -48,7 +48,7 @@ def spray_injection_weights(
     The propagation walks distance buckets farthest-first, so every node is
     expanded exactly once, after all of its upstream mass has arrived.
     """
-    dag = ShortestPathDag(topology, dst)
+    dag = shared_dag(topology, dst)
     buckets: Dict[int, Dict[NodeId, float]] = {}
     max_dist = 0
     for node, amount in injection.items():
@@ -85,7 +85,7 @@ def sample_spray_path(
     """Draw one minimal path by per-hop uniform choices (data plane of RPS)."""
     if src == dst:
         return [src]
-    dag = ShortestPathDag(topology, dst)
+    dag = shared_dag(topology, dst)
     if dag.dist[src] < 0:
         raise RoutingError(f"{dst} unreachable from {src}")
     path = [src]
@@ -103,7 +103,7 @@ def deterministic_minimal_path(
     """The lowest-port minimal path (deterministic single-path fallback)."""
     if src == dst:
         return [src]
-    dag = ShortestPathDag(topology, dst)
+    dag = shared_dag(topology, dst)
     if dag.dist[src] < 0:
         raise RoutingError(f"{dst} unreachable from {src}")
     path = [src]

@@ -189,11 +189,43 @@ class OutputPort:
             self._start_next()
         return True
 
-    def _start_next(self) -> None:
+    def send_batched(self, packet: SimPacket, pending: list) -> bool:
+        """Like :meth:`send`, but hand the finish event to the caller.
+
+        If accepting *packet* starts a transmission, its ``(duration_ns,
+        finish_callback)`` is appended to *pending* instead of being
+        scheduled — the caller coalesces same-duration finishes of a
+        broadcast fan-out into one event-loop entry.
+        """
+        if not self.queue.enqueue(packet):
+            self.drops += 1
+            if self._auditor is not None:
+                self._auditor.on_port_send(self, packet, accepted=False)
+            if self._on_drop is not None:
+                self._on_drop(packet)
+            return False
+        if self._auditor is not None:
+            self._auditor.on_port_send(self, packet, accepted=True)
+        occupancy = self.queue.occupancy_bytes
+        if occupancy > self.max_occupancy_bytes:
+            self.max_occupancy_bytes = occupancy
+        if not self._busy:
+            begun = self._begin()
+            if begun is not None:
+                duration, head = begun
+                pending.append((duration, lambda p=head: self._finish(p)))
+        return True
+
+    def _begin(self):
+        """Dequeue and start transmitting the next packet, if any.
+
+        Returns ``(duration_ns, packet)`` with the finish *not yet
+        scheduled*, or ``None`` when the queue is empty.
+        """
         packet = self.queue.dequeue()
         if packet is None:
             self._busy = False
-            return
+            return None
         self._busy = True
         duration = transmission_time_ns(packet.size_bytes, self._capacity_bps)
         self.busy_ns += duration
@@ -201,7 +233,13 @@ class OutputPort:
         self.packets_sent += 1
         if self._auditor is not None:
             self._auditor.on_transmit_start(self, packet, duration)
-        self._loop.schedule(duration, lambda p=packet: self._finish(p))
+        return duration, packet
+
+    def _start_next(self) -> None:
+        begun = self._begin()
+        if begun is not None:
+            duration, packet = begun
+            self._loop.schedule(duration, lambda p=packet: self._finish(p))
 
     def _finish(self, packet: SimPacket) -> None:
         if (
@@ -345,6 +383,7 @@ class RackNetwork:
         if is_source:
             self._deliver_local(node, packet)
         ok = True
+        pending: list = []
         for child in self._fib.next_hops(node, packet.src, packet.tree_id):
             copy = SimPacket(
                 kind=packet.kind,
@@ -358,8 +397,38 @@ class RackNetwork:
                 payload=packet.payload,
                 sent_ns=packet.sent_ns,
             )
-            ok = self.port(node, child).send(copy) and ok
+            ok = self.port(node, child).send_batched(copy, pending) and ok
+        self._schedule_transmissions(pending)
         return ok
+
+    def _schedule_transmissions(self, pending: list) -> None:
+        """Schedule batched port finishes, coalescing equal durations.
+
+        A broadcast fan-out pushes identical-size copies onto several idle
+        ports at once; on a uniform fabric their serializations finish at
+        the same instant, so the finish callbacks share one event-loop
+        entry.  The sort is stable, keeping FIFO order within a group.
+        """
+        if not pending:
+            return
+        loop = self._loop
+        if len(pending) == 1:
+            duration, fire = pending[0]
+            loop.schedule(duration, fire)
+            return
+        pending.sort(key=lambda item: item[0])
+        i = 0
+        n = len(pending)
+        while i < n:
+            duration = pending[i][0]
+            j = i + 1
+            while j < n and pending[j][0] == duration:
+                j += 1
+            if j - i == 1:
+                loop.schedule(duration, pending[i][1])
+            else:
+                loop.schedule_batch(duration, [item[1] for item in pending[i:j]])
+            i = j
 
     def _deliver_local(self, node: NodeId, packet: SimPacket) -> None:
         stack = self.stack_at[node]

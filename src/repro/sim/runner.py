@@ -157,7 +157,7 @@ def run_simulation(
         horizon = _default_horizon(topology, trace)
     chunk = max(config.progress_chunk_ns, 1)
     while loop.now < horizon:
-        loop.run(until_ns=min(loop.now + chunk, horizon))
+        loop.run_batch(until_ns=min(loop.now + chunk, horizon))
         if all(f.completed for f in flows.values()):
             break
         if loop.pending() == 0:

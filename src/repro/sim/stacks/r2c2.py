@@ -32,6 +32,7 @@ from ...broadcast.fib import BroadcastFib
 from ...congestion.controller import ControllerConfig, RateController
 from ...congestion.flowstate import FlowSpec
 from ...errors import SimulationError
+from ...lru import BoundedLru
 from ...types import NodeId
 from ..engine import EventLoop
 from ..flows import SimFlow
@@ -156,7 +157,7 @@ class PerNodeControlPlane:
         self.network = network
         self._config = config
         self._provider = provider
-        self._cache: Dict = {}
+        self._cache = BoundedLru(4096)
         self.controllers: List[RateController] = [
             RateController(
                 topology,

@@ -12,6 +12,7 @@ paths.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..errors import TopologyError
@@ -48,6 +49,33 @@ class ShortestPathDag:
         )
         self._next_hops[node] = hops
         return hops
+
+
+#: topology -> {dst: ShortestPathDag}; weak keys so discarded topologies
+#: (parameter sweeps, tests) release their DAGs.
+_DAG_CACHE: "weakref.WeakKeyDictionary[Topology, Dict[NodeId, ShortestPathDag]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_dag(topology: Topology, dst: NodeId) -> ShortestPathDag:
+    """The memoized shortest-path DAG toward *dst* on *topology*.
+
+    Per-packet path sampling builds a DAG per call when constructed
+    directly — one BFS plus a cold next-hop memo for every data packet.
+    Sharing the instance per ``(topology, dst)`` amortizes both across the
+    whole simulation.  Topologies are immutable after construction, so the
+    cache never needs invalidation.
+    """
+    per_topo = _DAG_CACHE.get(topology)
+    if per_topo is None:
+        per_topo = {}
+        _DAG_CACHE[topology] = per_topo
+    dag = per_topo.get(dst)
+    if dag is None:
+        dag = ShortestPathDag(topology, dst)
+        per_topo[dst] = dag
+    return dag
 
 
 def count_shortest_paths(topology: Topology, src: NodeId, dst: NodeId) -> int:

@@ -74,6 +74,71 @@ class TestEventLoop:
         assert processed == 10
 
 
+class TestEventLoopBatch:
+    def test_run_batch_matches_run(self):
+        """run_batch must be semantically identical to run."""
+        def drive(runner):
+            loop = EventLoop()
+            order = []
+            loop.schedule(10, lambda: order.append("b"))
+            loop.schedule(5, lambda: order.append("a"))
+            loop.schedule(10, lambda: order.append("c"))
+            runner(loop, 7)
+            mid = (list(order), loop.now)
+            runner(loop, None)
+            return mid, list(order), loop.now, loop.events_processed
+
+        plain = drive(lambda loop, until: loop.run(until_ns=until))
+        fast = drive(lambda loop, until: loop.run_batch(until_ns=until))
+        assert plain == fast
+
+    def test_run_batch_advances_clock_to_until(self):
+        loop = EventLoop()
+        loop.run_batch(until_ns=40)
+        assert loop.now == 40
+        with pytest.raises(SimulationError):
+            loop.run_batch(until_ns=10)
+
+    def test_run_batch_falls_back_with_observer(self):
+        loop = EventLoop()
+        seen = []
+
+        class Observer:
+            def on_event(self, at_ns, seq):
+                seen.append((at_ns, seq))
+
+        loop.attach_observer(Observer())
+        loop.schedule(5, lambda: None)
+        loop.schedule(5, lambda: None)
+        assert loop.run_batch() == 2
+        assert len(seen) == 2  # observer still sees every event
+
+    def test_run_batch_respects_max_events(self):
+        loop = EventLoop()
+        for _ in range(5):
+            loop.schedule(1, lambda: None)
+        assert loop.run_batch(max_events=2) == 2
+        assert loop.pending() == 3
+
+    def test_schedule_batch_runs_in_order_as_one_event(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(10, lambda: order.append("before"))
+        loop.schedule_batch(10, [lambda i=i: order.append(i) for i in range(3)])
+        loop.schedule(10, lambda: order.append("after"))
+        processed = loop.run()
+        assert order == ["before", 0, 1, 2, "after"]
+        assert processed == 3  # the batch counts once
+
+    def test_schedule_batch_empty_and_singleton(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_batch(5, [])
+        loop.schedule_batch(5, [lambda: fired.append(1)])
+        assert loop.run() == 1
+        assert fired == [1]
+
+
 class TestEventLoopTimeValidation:
     """NaN/fractional delays would silently corrupt heap ordering."""
 

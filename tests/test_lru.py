@@ -1,0 +1,73 @@
+"""Tests for the bounded-LRU mapping behind the allocation caches."""
+
+import pytest
+
+from repro.lru import BoundedLru
+
+
+class TestBoundedLru:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedLru(0)
+
+    def test_get_hit_and_miss(self):
+        lru = BoundedLru(4)
+        lru["a"] = 1
+        assert lru.get("a") == 1
+        assert lru.get("b") is None
+        assert lru.get("b", "fallback") == "fallback"
+        assert lru.hits == 1
+        assert lru.misses == 2
+
+    def test_getitem_raises_on_miss(self):
+        lru = BoundedLru(2)
+        with pytest.raises(KeyError):
+            lru["missing"]
+
+    def test_eviction_drops_least_recently_used(self):
+        lru = BoundedLru(2)
+        lru["a"] = 1
+        lru["b"] = 2
+        lru["c"] = 3  # evicts "a", the oldest untouched entry
+        assert "a" not in lru
+        assert set(lru.keys()) == {"b", "c"}
+        assert len(lru) == 2
+
+    def test_hit_refreshes_against_eviction(self):
+        lru = BoundedLru(2)
+        lru["a"] = 1
+        lru["b"] = 2
+        assert lru.get("a") == 1  # "a" becomes most recently used
+        lru["c"] = 3  # must evict "b", not the refreshed "a"
+        assert "a" in lru
+        assert "b" not in lru
+
+    def test_overwrite_refreshes_without_growth(self):
+        lru = BoundedLru(2)
+        lru["a"] = 1
+        lru["b"] = 2
+        lru["a"] = 10  # refresh by reassignment
+        lru["c"] = 3
+        assert lru["a"] == 10
+        assert "b" not in lru
+        assert len(lru) == 2
+
+    def test_pop_and_clear(self):
+        lru = BoundedLru(2)
+        lru["a"] = 1
+        assert lru.pop("a") == 1
+        assert lru.pop("a", "gone") == "gone"
+        lru["b"] = 2
+        lru.clear()
+        assert len(lru) == 0
+
+    def test_values_iteration_does_not_reorder(self):
+        lru = BoundedLru(3)
+        lru["a"] = 1
+        lru["b"] = 2
+        # Iterating values() must not count as use (no move-to-end), so it
+        # is safe inside loops that also index the cache.
+        list(lru.values())
+        lru["c"] = 3
+        lru["d"] = 4  # evicts "a": values() did not refresh it
+        assert "a" not in lru
