@@ -30,6 +30,7 @@ from perfcommon import (
 )
 
 from repro.sim import SimConfig, run_simulation
+from repro.telemetry import Telemetry, TelemetryConfig
 from repro.topology import TorusTopology
 from repro.workloads import ParetoSizes, poisson_trace
 
@@ -41,7 +42,7 @@ QUICK_FLOWS = 60
 SEED = 0
 
 
-def run_scenario(n_flows: int, dims: tuple, reps: int) -> dict:
+def _scenario_workload(n_flows: int, dims: tuple):
     topo = TorusTopology(dims)
     trace = poisson_trace(
         topo,
@@ -50,6 +51,37 @@ def run_scenario(n_flows: int, dims: tuple, reps: int) -> dict:
         sizes=ParetoSizes(mean_bytes=100 * 1024, shape=1.05, cap_bytes=20_000_000),
         seed=SEED,
     )
+    return topo, trace
+
+
+def telemetry_snapshot(n_flows: int, dims: tuple) -> dict:
+    """Compact metrics snapshot from an extra, *untimed* instrumented run.
+
+    Counters, gauges and histogram quantiles only — per-link series would
+    bloat the history file.  Recorded alongside the timings so each
+    revision's entry carries the workload's telemetry fingerprint (wire
+    bytes, epochs, queue occupancy) next to its wall clock.
+    """
+    topo, trace = _scenario_workload(n_flows, dims)
+    telemetry = Telemetry(TelemetryConfig(trace=False, per_link_series=False))
+    run_simulation(topo, trace, SimConfig(stack="r2c2", seed=SEED), telemetry=telemetry)
+    snap = telemetry.metrics.snapshot()
+    return {
+        "counters": snap["counters"],
+        "gauges": snap["gauges"],
+        "histogram_p99": {
+            name: hist.quantile(0.99)
+            for name, hist in (
+                (h.name, h)
+                for h in telemetry.metrics.instruments()
+                if hasattr(h, "quantile")
+            )
+        },
+    }
+
+
+def run_scenario(n_flows: int, dims: tuple, reps: int) -> dict:
+    topo, trace = _scenario_workload(n_flows, dims)
     runs = []
     for _ in range(reps):
         started = time.perf_counter()
@@ -87,6 +119,7 @@ def main() -> int:
                 failures.append(error)
         if args.record and not args.quick:
             entry["rev"] = args.rev
+            entry["telemetry"] = telemetry_snapshot(n_flows, dims)
             record_entry(
                 doc,
                 name,

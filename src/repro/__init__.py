@@ -17,6 +17,7 @@ subpackage docstrings for details:
 * :mod:`repro.maze` — the rack-emulation platform.
 * :mod:`repro.workloads` — traffic patterns and flow generators.
 * :mod:`repro.analysis` — throughput analysis and statistics.
+* :mod:`repro.telemetry` — metrics, event tracing and link probes.
 * :mod:`repro.core` — the assembled R2C2 stack.
 """
 

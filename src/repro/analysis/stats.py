@@ -59,8 +59,13 @@ class SummaryStats:
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "SummaryStats":
+        """Summary of *values*; the empty summary is all zeros.
+
+        Empty-safe on purpose: telemetry exports summarize whatever a run
+        produced, including nothing, and must not raise mid-export.
+        """
         if not len(values):
-            raise ReproError("summary of empty sequence")
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
         arr = np.asarray(values, dtype=np.float64)
         return cls(
             count=int(arr.size),
@@ -81,6 +86,10 @@ class SummaryStats:
             "p99": self.p99,
             "max": self.max,
         }
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready dict form (alias of :meth:`row`)."""
+        return self.row()
 
 
 def normalized_against(

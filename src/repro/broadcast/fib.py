@@ -25,26 +25,54 @@ class BroadcastFib:
         n_trees: Trees enumerated per source.
         seed: Tie-breaking seed for tree construction (all nodes must agree
             on it, exactly like they agree on the topology).
+        telemetry: Optional :class:`~repro.telemetry.Telemetry`; FIB
+            installation is accounted as ``broadcast.fib_updates`` (entries
+            written, including rebuild overwrites) and the
+            ``broadcast.fib_entries`` gauge (entries currently installed).
     """
 
-    def __init__(self, topology: Topology, n_trees: int = 4, seed: int = 0) -> None:
+    def __init__(
+        self, topology: Topology, n_trees: int = 4, seed: int = 0, telemetry=None
+    ) -> None:
         if n_trees < 1:
             raise BroadcastError(f"need at least one tree per source, got {n_trees}")
         self._topology = topology
         self._n_trees = n_trees
         self._seed = seed
+        if telemetry is not None:
+            self._ctr_updates = telemetry.metrics.counter("broadcast.fib_updates") or None
+            self._gauge_entries = telemetry.metrics.gauge("broadcast.fib_entries") or None
+        else:
+            self._ctr_updates = None
+            self._gauge_entries = None
         self._trees: Dict[Tuple[NodeId, int], BroadcastTree] = {}
         # node -> (src, tree_id) -> next hops
         self._tables: List[Dict[Tuple[NodeId, int], Tuple[NodeId, ...]]] = [
             {} for _ in range(topology.n_nodes)
         ]
-        for src in topology.nodes():
-            for tree in build_broadcast_trees(topology, src, n_trees, seed):
+        self._build()
+
+    def _build(self) -> None:
+        """(Re)compute every tree and install the per-node FIB entries."""
+        self._trees.clear()
+        for table in self._tables:
+            table.clear()
+        installed = 0
+        for src in self._topology.nodes():
+            for tree in build_broadcast_trees(
+                self._topology, src, self._n_trees, self._seed
+            ):
                 self._trees[(src, tree.tree_id)] = tree
-                for node in topology.nodes():
+                for node in self._topology.nodes():
                     children = tree.children(node)
                     if children:
                         self._tables[node][(src, tree.tree_id)] = children
+                        installed += 1
+        if self._ctr_updates:
+            self._ctr_updates.inc(installed)
+            self._gauge_entries.set(
+                sum(len(table) for table in self._tables)
+            )
 
     @property
     def n_trees(self) -> int:

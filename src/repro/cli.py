@@ -4,7 +4,9 @@ Commands:
 
 * ``info``      — describe a rack topology (nodes, links, diameter, paths).
 * ``rates``     — start flows on a rack and print their R2C2 allocations.
-* ``simulate``  — run the packet-level simulator on a synthetic workload.
+* ``simulate``  — run the packet-level simulator on a synthetic workload
+  (``--trace``/``--metrics`` capture telemetry; see DESIGN.md).
+* ``report``    — pretty-print a ``--metrics`` snapshot.
 * ``figure2``   — print the routing-throughput table for a 2D torus.
 * ``claims``    — check the paper's headline numeric claims.
 
@@ -112,13 +114,23 @@ def cmd_simulate(args) -> int:
         seed=args.seed,
     )
     config = SimConfig(stack=args.stack, reliable=args.reliable, seed=args.seed)
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        from .telemetry import Telemetry, TelemetryConfig
+
+        telemetry = Telemetry(
+            TelemetryConfig(
+                metrics=args.metrics_out is not None,
+                trace=args.trace_out is not None,
+            )
+        )
     if args.profile is not None:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        metrics = run_simulation(topo, trace, config)
+        metrics = run_simulation(topo, trace, config, telemetry=telemetry)
         profiler.disable()
         if args.profile == "-":
             pstats.Stats(profiler).sort_stats("cumulative").print_stats(30)
@@ -127,12 +139,73 @@ def cmd_simulate(args) -> int:
             print(f"profile written to {args.profile} "
                   f"(inspect with: python -m pstats {args.profile})")
     else:
-        metrics = run_simulation(topo, trace, config)
+        metrics = run_simulation(topo, trace, config, telemetry=telemetry)
     print(f"stack={args.stack} on {topo.name}: "
           f"{len(trace)} flows, {metrics.duration_ns / 1e6:.2f} ms simulated, "
           f"{metrics.wallclock_s:.1f} s wall")
     for key, value in metrics.summary().items():
         print(f"  {key:20s} {value:,.2f}")
+    if telemetry is not None:
+        if args.trace_out:
+            telemetry.save_trace(args.trace_out)
+            print(f"trace written to {args.trace_out} "
+                  f"(open in https://ui.perfetto.dev)")
+        if args.metrics_out:
+            telemetry.save_metrics(args.metrics_out)
+            print(f"metrics snapshot written to {args.metrics_out} "
+                  f"(pretty-print with: repro report {args.metrics_out})")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Pretty-print a metrics snapshot produced by ``--metrics``."""
+    import json
+
+    with open(args.snapshot) as fh:
+        snap = json.load(fh)
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    histograms = snap.get("histograms", {})
+    series = snap.get("series", {})
+    if counters:
+        print("counters:")
+        for name, value in sorted(counters.items()):
+            print(f"  {name:48s} {value:>16,}")
+    if gauges:
+        print("gauges:")
+        for name, value in sorted(gauges.items()):
+            print(f"  {name:48s} {value:>16,.2f}")
+    if histograms:
+        print("histograms:")
+        for name, hist in sorted(histograms.items()):
+            count = hist.get("count", 0)
+            print(f"  {name}: n={count}, sum={hist.get('sum', 0):,.0f}, "
+                  f"min={hist.get('min')}, max={hist.get('max')}")
+            if not count or args.no_bars:
+                continue
+            bounds = hist["buckets"]
+            peak = max(hist["counts"]) or 1
+            for i, n in enumerate(hist["counts"]):
+                if not n:
+                    continue
+                label = (f"<= {bounds[i]:,.0f}" if i < len(bounds)
+                         else f"> {bounds[-1]:,.0f}")
+                bar = "#" * max(1, round(24 * n / peak))
+                print(f"    {label:>16s} {n:>10,} {bar}")
+    if series:
+        print(f"series: {len(series)} recorded "
+              f"(per-link time series; inspect the JSON directly)")
+        shown = 0
+        for name, data in sorted(series.items()):
+            if "{" in name and args.no_bars:
+                continue
+            if "{" not in name:
+                values = data.get("values", [])
+                peak = max(values) if values else 0
+                print(f"  {name}: {len(values)} samples, peak {peak:,.0f}")
+                shown += 1
+        if not shown:
+            print("  (aggregate series absent; see the raw JSON)")
     return 0
 
 
@@ -233,7 +306,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="profile the run with cProfile; dump stats to "
                             "FILE, or print the top entries when no FILE "
                             "is given")
+    p_sim.add_argument("--trace", dest="trace_out", default=None, metavar="FILE",
+                       help="record a Chrome trace-event JSON of the run "
+                            "(epochs, broadcasts, link probes, sampled "
+                            "packets); open in https://ui.perfetto.dev")
+    p_sim.add_argument("--metrics", dest="metrics_out", default=None,
+                       metavar="FILE",
+                       help="write a metrics snapshot JSON (counters, "
+                            "queue-occupancy histograms, link time series); "
+                            "pretty-print with `repro report FILE`")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_report = sub.add_parser(
+        "report", help="pretty-print a metrics snapshot from simulate --metrics"
+    )
+    p_report.add_argument("snapshot", help="metrics snapshot JSON file")
+    p_report.add_argument("--no-bars", action="store_true",
+                          help="omit histogram bucket bars (terse output)")
+    p_report.set_defaults(func=cmd_report)
 
     p_fig2 = sub.add_parser("figure2", help="print the Figure 2 routing table")
     p_fig2.add_argument("--radix", type=int, default=8)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 from ..errors import CongestionControlError
 from ..lru import BoundedLru
+from ..telemetry.trace import TRACK_CONTROLLER
 from ..topology.base import Topology
 from ..types import FlowId, NodeId, usec
 from .flowstate import FlowSpec, FlowTable
@@ -120,11 +121,33 @@ class RateController:
         provider: Optional[WeightProvider] = None,
         config: Optional[ControllerConfig] = None,
         allocation_cache: Optional[Dict] = None,
+        telemetry=None,
     ) -> None:
         self._topology = topology
         self._node = node
         self._provider = provider if provider is not None else WeightProvider(topology)
         self._config = config or ControllerConfig()
+        # Telemetry instruments, resolved once; with telemetry disabled the
+        # epoch path pays a single falsy test per instrument (see
+        # repro.telemetry).  Epoch trace events carry only simulated-time
+        # quantities — wall-clock durations stay in RecomputeStats so
+        # traces are byte-identical across equally seeded runs.
+        if telemetry is not None:
+            # ``or None``: disabled (falsy null) sinks collapse to None so
+            # the per-epoch guards test None at C speed.
+            self._ctr_recomputed = telemetry.metrics.counter(
+                "controller.epochs", outcome="recomputed"
+            ) or None
+            self._ctr_skipped = telemetry.metrics.counter(
+                "controller.epochs", outcome="skipped"
+            ) or None
+            self._gauge_flows = telemetry.metrics.gauge("controller.table_flows") or None
+            self._trace = telemetry.trace or None
+        else:
+            self._ctr_recomputed = None
+            self._ctr_skipped = None
+            self._gauge_flows = None
+            self._trace = None
         # Optional cross-controller memo: rack nodes with identical tables
         # compute identical allocations, so simulations running one
         # controller per node share this dict (keyed by table contents) and
@@ -258,6 +281,20 @@ class RateController:
                     skipped=True,
                 )
             )
+            if self._ctr_skipped:
+                self._ctr_skipped.inc()
+            if self._trace:
+                self._trace.instant(
+                    "epoch",
+                    "controller",
+                    now_ns,
+                    tid=TRACK_CONTROLLER,
+                    args={
+                        "outcome": "skipped",
+                        "n_flows": len(self._table),
+                        "node": self._node,
+                    },
+                )
             return self._allocation
         flows = self._table.snapshot()
         allocation = self._cached_waterfill(flows)
@@ -274,6 +311,21 @@ class RateController:
                 interval_ns=self._config.recompute_interval_ns,
             )
         )
+        if self._ctr_recomputed:
+            self._ctr_recomputed.inc()
+            self._gauge_flows.set(len(flows))
+        if self._trace:
+            self._trace.instant(
+                "epoch",
+                "controller",
+                now_ns,
+                tid=TRACK_CONTROLLER,
+                args={
+                    "outcome": "recomputed",
+                    "n_flows": len(flows),
+                    "node": self._node,
+                },
+            )
         return allocation
 
     def _effective_capacities(self):

@@ -54,6 +54,7 @@ class EventLoop:
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._events_processed = 0
         self._observer = None
+        self._batch_observer = None
 
     @property
     def now(self) -> int:
@@ -71,6 +72,17 @@ class EventLoop:
         Used by the invariant auditor; pass ``None`` to detach.
         """
         self._observer = observer
+
+    def attach_batch_observer(self, observer) -> None:
+        """Install a batch observer (telemetry span hook); ``None`` detaches.
+
+        After every :meth:`run` / :meth:`run_batch` call that processed at
+        least one event, ``observer.on_batch(start_ns, end_ns, processed)``
+        receives the clock interval the batch covered and its event count.
+        Unlike the per-event observer this costs one test per *batch*, so
+        it never forces the slow path.
+        """
+        self._batch_observer = observer
 
     def schedule(self, delay_ns: int, action: Callable[[], None]) -> None:
         """Run *action* ``delay_ns`` nanoseconds from now."""
@@ -107,6 +119,7 @@ class EventLoop:
                     f"cannot run until {until_ns} ns, current time is {self._now} ns"
                 )
         observer = self._observer
+        batch_start = self._now
         processed = 0
         while self._queue:
             if max_events is not None and processed >= max_events:
@@ -125,6 +138,8 @@ class EventLoop:
             if until_ns is not None and self._now < until_ns:
                 self._now = until_ns
         self._events_processed += processed
+        if self._batch_observer is not None and processed:
+            self._batch_observer.on_batch(batch_start, self._now, processed)
         return processed
 
     def run_batch(
@@ -149,6 +164,7 @@ class EventLoop:
                 )
         queue = self._queue
         pop = heapq.heappop
+        batch_start = self._now
         processed = 0
         if until_ns is None:
             while queue:
@@ -168,6 +184,8 @@ class EventLoop:
             if self._now < until_ns:
                 self._now = until_ns
         self._events_processed += processed
+        if self._batch_observer is not None and processed:
+            self._batch_observer.on_batch(batch_start, self._now, processed)
         return processed
 
     def schedule_batch(self, delay_ns: int, actions) -> None:

@@ -59,10 +59,25 @@ class LatencyReservoir:
         return self.total_ns / self.count if self.count else 0.0
 
     def percentile_us(self, pct: float) -> float:
-        """Estimated latency percentile in microseconds."""
+        """Estimated latency percentile in microseconds (0.0 when empty).
+
+        Empty-safe: a run that delivered no packets (e.g. a horizon cut
+        short, or a telemetry export of a dry run) reports 0.0 instead of
+        raising mid-export.
+        """
         if not self._samples:
-            raise SimulationError("no latencies recorded")
+            return 0.0
         return percentile(self._samples, pct) / 1e3
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready summary (exact count/mean/max, estimated percentiles)."""
+        return {
+            "count": self.count,
+            "mean_ns": self.mean_ns,
+            "max_ns": self.max_ns,
+            "p50_us": self.percentile_us(50),
+            "p99_us": self.percentile_us(99),
+        }
 
 
 @dataclass
@@ -83,6 +98,11 @@ class SimMetrics:
     duration_ns: int = 0
     wallclock_s: float = 0.0
     recompute_overheads: List[float] = field(default_factory=list)
+    #: Control-loop epoch accounting (PR 2's short-circuit optimisation):
+    #: how many epochs actually re-ran the water-fill vs. were skipped
+    #: because the flow table had not changed.
+    epochs_recomputed: int = 0
+    epochs_skipped: int = 0
     #: :class:`~repro.validation.AuditReport` when the run was audited
     #: (``SimConfig(audit=True)``), ``None`` otherwise.  Typed loosely to
     #: keep this module independent of :mod:`repro.validation`.
@@ -166,6 +186,9 @@ class SimMetrics:
             "events": float(self.events_processed),
             "duration_ms": self.duration_ns / 1e6,
         }
+        if self.epochs_recomputed or self.epochs_skipped:
+            out["epochs_recomputed"] = float(self.epochs_recomputed)
+            out["epochs_skipped"] = float(self.epochs_skipped)
         shorts = self.short_fcts_us()
         if shorts:
             stats = SummaryStats.of(shorts)

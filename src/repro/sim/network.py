@@ -270,6 +270,11 @@ class OutputPort:
         """True while a packet is being serialized."""
         return self._busy
 
+    @property
+    def capacity_bps(self) -> float:
+        """The link's line rate (telemetry probes compute utilization)."""
+        return self._capacity_bps
+
 
 class RackNetwork:
     """All ports of the rack plus the forwarding logic between them."""
@@ -441,6 +446,19 @@ class RackNetwork:
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
+    def link_stats(self):
+        """Yield ``(src, dst, bytes_sent, queue_bytes, drops)`` per port.
+
+        The telemetry link probes sample this on a cadence; iteration
+        order is the (deterministic) port construction order.
+        """
+        for (src, dst), port in self._ports.items():
+            yield src, dst, port.bytes_sent, port.queue.occupancy_bytes, port.drops
+
+    def link_capacity_bps(self, src: NodeId, dst: NodeId) -> float:
+        """Line rate of directed link src -> dst."""
+        return self.port(src, dst).capacity_bps
+
     def max_queue_occupancies(self) -> List[int]:
         """Per-port maximum queue occupancy in bytes (Figures 7b, 14)."""
         return [port.max_occupancy_bytes for port in self.ports()]

@@ -95,6 +95,7 @@ def run_simulation(
     trace: Sequence[FlowArrival],
     config: Optional[SimConfig] = None,
     provider: Optional[WeightProvider] = None,
+    telemetry=None,
 ) -> SimMetrics:
     """Simulate *trace* on *topology* under *config*.
 
@@ -104,6 +105,11 @@ def run_simulation(
     Args:
         provider: Optional shared :class:`WeightProvider` so parameter
             sweeps reuse the (expensive) link-weight cache across runs.
+        telemetry: Optional :class:`~repro.telemetry.Telemetry` session.
+            When given, the run records metrics, trace events and link
+            probes into it; telemetry never perturbs the simulation (probes
+            are pulled from the progress loop, no events are scheduled), so
+            results are identical with or without it.
     """
     config = config or SimConfig()
     if not trace:
@@ -124,13 +130,19 @@ def run_simulation(
         # differential oracles, so a top-level import would be circular.
         from ..validation import InvariantAuditor
 
-        auditor = InvariantAuditor(strict=config.audit_strict)
+        auditor = InvariantAuditor(strict=config.audit_strict, telemetry=telemetry)
         auditor.attach_loop(loop)
+
+    probes = None
+    if telemetry is not None and telemetry.trace and telemetry.config.trace_eventloop:
+        from ..telemetry import EventLoopTracer
+
+        loop.attach_batch_observer(EventLoopTracer(telemetry.trace))
 
     started_wall = time.perf_counter()
     if config.stack == "r2c2":
         network, control = _build_r2c2(
-            topology, loop, flows, metrics, config, provider, auditor
+            topology, loop, flows, metrics, config, provider, auditor, telemetry
         )
     elif config.stack == "tcp":
         network = _build_tcp(topology, loop, flows, metrics, config, auditor)
@@ -138,6 +150,8 @@ def run_simulation(
     else:
         network = _build_pfq(topology, loop, flows, metrics, config, auditor)
         control = None
+    if telemetry is not None and telemetry.enabled:
+        probes = telemetry.link_probes(network)
     if auditor is not None:
         for stack in network.stack_at:
             if stack is not None:
@@ -158,6 +172,10 @@ def run_simulation(
     chunk = max(config.progress_chunk_ns, 1)
     while loop.now < horizon:
         loop.run_batch(until_ns=min(loop.now + chunk, horizon))
+        # Pulled (not scheduled) so telemetry never perturbs the event heap
+        # or the termination conditions below.
+        if probes is not None:
+            probes.maybe_sample(loop.now)
         if all(f.completed for f in flows.values()):
             break
         if loop.pending() == 0:
@@ -175,14 +193,44 @@ def run_simulation(
     metrics.duration_ns = loop.now
     metrics.wallclock_s = time.perf_counter() - started_wall
     if control is not None:
-        metrics.recompute_overheads = [
-            s.cpu_overhead for s in control.recompute_stats()
-        ]
+        stats = control.recompute_stats()
+        metrics.recompute_overheads = [s.cpu_overhead for s in stats]
+        metrics.epochs_skipped = sum(1 for s in stats if s.skipped)
+        metrics.epochs_recomputed = len(stats) - metrics.epochs_skipped
     if auditor is not None:
         metrics.audit = auditor.final_check(
             flows=flows.values(), drained=(loop.pending() == 0)
         )
+    if telemetry is not None and telemetry.enabled:
+        if probes is not None:
+            probes.sample(loop.now)  # final sample, even for tiny runs
+        _finalize_telemetry(telemetry, metrics, loop)
     return metrics
+
+
+def _finalize_telemetry(telemetry, metrics: SimMetrics, loop: EventLoop) -> None:
+    """End-of-run rollups into the metrics registry.
+
+    Wire-byte counters are recorded so a snapshot matches the
+    :class:`SimMetrics` totals exactly (`wire.*` from the network's port
+    statistics, `broadcast.wire_bytes` accumulated live at delivery); the
+    per-port *maximum* queue occupancies become the Figure 7b/14 histogram.
+    """
+    from ..telemetry import QUEUE_BUCKETS
+
+    registry = telemetry.metrics
+    registry.counter("wire.total_bytes").inc(metrics.total_bytes_on_wire)
+    registry.counter("wire.data_bytes").inc(metrics.data_bytes_on_wire)
+    registry.counter("wire.ack_bytes").inc(metrics.ack_bytes)
+    registry.counter("wire.drops").inc(metrics.drops)
+    registry.counter("wire.losses").inc(metrics.wire_losses)
+    registry.gauge("sim.events_processed").set(loop.events_processed)
+    registry.gauge("sim.duration_ns").set(metrics.duration_ns)
+    registry.gauge("sim.flows_total").set(len(metrics.flows))
+    registry.gauge("sim.flows_completed").set(len(metrics.completed_flows()))
+    hist = registry.histogram("queue.max_occupancy_bytes", buckets=QUEUE_BUCKETS)
+    for occupancy in metrics.max_queue_occupancy_bytes:
+        hist.observe(occupancy)
 
 
 def _default_horizon(topology: Topology, trace: Sequence[FlowArrival]) -> int:
@@ -194,11 +242,18 @@ def _default_horizon(topology: Topology, trace: Sequence[FlowArrival]) -> int:
     return last_arrival + max(drain_ns, msec(50))
 
 
-def _build_r2c2(topology, loop, flows, metrics, config, provider, auditor=None):
+def _build_r2c2(
+    topology, loop, flows, metrics, config, provider, auditor=None, telemetry=None
+):
     from ..routing.weights import deterministic_minimal_path
     from .packets import DROP_NOTE_SIZE_BYTES, KIND_BROADCAST, KIND_DROP_NOTE, SimPacket
 
-    fib = BroadcastFib(topology, n_trees=config.n_broadcast_trees, seed=config.seed)
+    fib = BroadcastFib(
+        topology,
+        n_trees=config.n_broadcast_trees,
+        seed=config.seed,
+        telemetry=telemetry,
+    )
     network_holder = {}
 
     def on_drop(node, packet):
@@ -243,11 +298,15 @@ def _build_r2c2(topology, loop, flows, metrics, config, provider, auditor=None):
     )
     if config.control_plane == "per_node":
         control = PerNodeControlPlane(
-            loop, network, topology, provider, controller_config
+            loop, network, topology, provider, controller_config, telemetry=telemetry
         )
     else:
         controller = RateController(
-            topology, node=0, provider=provider, config=controller_config
+            topology,
+            node=0,
+            provider=provider,
+            config=controller_config,
+            telemetry=telemetry,
         )
         control = SharedControlPlane(loop, network, controller)
     common = dict(
@@ -255,6 +314,7 @@ def _build_r2c2(topology, loop, flows, metrics, config, provider, auditor=None):
         seed=config.seed,
         n_trees=config.n_broadcast_trees,
         metrics=metrics,
+        telemetry=telemetry,
     )
     for node in topology.nodes():
         if config.reliable:

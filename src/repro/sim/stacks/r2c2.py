@@ -33,6 +33,7 @@ from ...congestion.controller import ControllerConfig, RateController
 from ...congestion.flowstate import FlowSpec
 from ...errors import SimulationError
 from ...lru import BoundedLru
+from ...telemetry.trace import TRACK_BROADCAST, TRACK_PACKETS
 from ...types import NodeId
 from ..engine import EventLoop
 from ..flows import SimFlow
@@ -52,6 +53,9 @@ from .base import HostStack
 _EVENT_START = 1
 _EVENT_FINISH = 2
 _EVENT_DEMAND = 3
+
+#: Human-readable event names for telemetry labels/trace args.
+_EVENT_NAMES = {_EVENT_START: "start", _EVENT_FINISH: "finish", _EVENT_DEMAND: "demand"}
 
 
 class SharedControlPlane:
@@ -152,6 +156,7 @@ class PerNodeControlPlane:
         topology,
         provider,
         config: ControllerConfig,
+        telemetry=None,
     ) -> None:
         self.loop = loop
         self.network = network
@@ -165,6 +170,7 @@ class PerNodeControlPlane:
                 provider=provider,
                 config=config,
                 allocation_cache=self._cache,
+                telemetry=telemetry,
             )
             for node in topology.nodes()
         ]
@@ -266,6 +272,7 @@ class R2C2Stack(HostStack):
         seed: int = 0,
         n_trees: int = 4,
         metrics=None,
+        telemetry=None,
     ) -> None:
         super().__init__(node, loop, network)
         self.control = control
@@ -275,6 +282,31 @@ class R2C2Stack(HostStack):
         self._n_trees = n_trees
         self._next_tree = node  # stagger tree choice across nodes
         self._metrics = metrics
+        # Telemetry instruments, resolved once (see repro.telemetry); all
+        # instruments are shared registry objects, so per-stack increments
+        # aggregate rack-wide.  Falsy when telemetry is off.
+        if telemetry is not None:
+            registry = telemetry.metrics
+            # ``or None`` collapses disabled (falsy null) sinks to None so
+            # the per-packet guards below test None at C speed instead of
+            # calling a Python-level __bool__.
+            self._ctr_bcast_events = {
+                _EVENT_START: registry.counter("broadcast.announcements", event="start"),
+                _EVENT_FINISH: registry.counter("broadcast.announcements", event="finish"),
+                _EVENT_DEMAND: registry.counter("broadcast.announcements", event="demand"),
+            } if registry else None
+            self._ctr_bcast_wire_bytes = registry.counter("broadcast.wire_bytes") or None
+            self._ctr_bcast_wire_packets = registry.counter("broadcast.wire_packets") or None
+            self._ctr_bcast_retransmits = registry.counter("broadcast.retransmissions") or None
+            self._tel_trace = telemetry.trace or None
+            self._pkt_sample_every = telemetry.config.packet_sample_every
+        else:
+            self._ctr_bcast_events = None
+            self._ctr_bcast_wire_bytes = None
+            self._ctr_bcast_wire_packets = None
+            self._ctr_bcast_retransmits = None
+            self._tel_trace = None
+            self._pkt_sample_every = 0
         self._active_local: Set[int] = set()
         self._stalled: Set[int] = set()
         self._bcast_seq = 0
@@ -329,6 +361,21 @@ class R2C2Stack(HostStack):
     def _send_broadcast(self, flow: SimFlow, event: int, data, seq: int) -> None:
         tree_id = self._next_tree % self._n_trees
         self._next_tree += 1
+        if self._ctr_bcast_events is not None:
+            self._ctr_bcast_events[event].inc()
+        if self._tel_trace:
+            self._tel_trace.instant(
+                "announce",
+                "broadcast",
+                self.loop.now,
+                tid=TRACK_BROADCAST,
+                args={
+                    "event": _EVENT_NAMES.get(event, event),
+                    "flow": flow.flow_id,
+                    "node": self.node,
+                    "tree": tree_id,
+                },
+            )
         packet = SimPacket(
             kind=KIND_BROADCAST,
             flow_id=flow.flow_id,
@@ -350,6 +397,16 @@ class R2C2Stack(HostStack):
             return  # aged out of the replay window
         flow, event, data = pending
         self.broadcast_retransmissions += 1
+        if self._ctr_bcast_retransmits:
+            self._ctr_bcast_retransmits.inc()
+        if self._tel_trace:
+            self._tel_trace.instant(
+                "retransmit",
+                "broadcast",
+                self.loop.now,
+                tid=TRACK_BROADCAST,
+                args={"flow": flow.flow_id, "dropped_at": dropped_at, "seq": seq},
+            )
         self._send_broadcast(flow, event, data, seq)
 
     def _emit(self, flow: SimFlow) -> None:
@@ -424,6 +481,14 @@ class R2C2Stack(HostStack):
             self.control.on_flow_reannounced(spec, self.node)
             self._broadcast(flow, _EVENT_START, spec)
             count += 1
+        if self._tel_trace:
+            self._tel_trace.instant(
+                "reannounce_round",
+                "broadcast",
+                self.loop.now,
+                tid=TRACK_BROADCAST,
+                args={"node": self.node, "flows": count},
+            )
         return count
 
     def on_epoch(self) -> None:
@@ -455,9 +520,13 @@ class R2C2Stack(HostStack):
         if packet.kind == KIND_BROADCAST:
             # Count wire traffic only: the copy the source hands to its own
             # control plane never crossed a link.
-            if self._metrics is not None and packet.src != self.node:
-                self._metrics.broadcast_bytes += packet.size_bytes
-                self._metrics.broadcast_packets += 1
+            if packet.src != self.node:
+                if self._metrics is not None:
+                    self._metrics.broadcast_bytes += packet.size_bytes
+                    self._metrics.broadcast_packets += 1
+                if self._ctr_bcast_wire_bytes:
+                    self._ctr_bcast_wire_bytes.inc(packet.size_bytes)
+                    self._ctr_bcast_wire_packets.inc()
             # Shared mode: no-op (the sender already applied the event);
             # per-node mode: this delivery is when the node's table learns.
             self.control.apply_broadcast(self.node, packet.src, packet.payload)
@@ -472,6 +541,20 @@ class R2C2Stack(HostStack):
             raise SimulationError(f"packet for unknown flow {packet.flow_id}")
         if self._metrics is not None:
             self._metrics.packet_latency.record(self.loop.now - packet.sent_ns)
+        if (
+            self._tel_trace
+            and self._pkt_sample_every
+            and packet.seq % self._pkt_sample_every == 0
+        ):
+            # Sampled packet lifecycle: injection -> delivery as a span.
+            self._tel_trace.complete(
+                f"flow {packet.flow_id}",
+                "packet",
+                packet.sent_ns,
+                self.loop.now - packet.sent_ns,
+                tid=TRACK_PACKETS,
+                args={"seq": packet.seq, "bytes": packet.size_bytes},
+            )
         flow.record_in_order(packet.seq)
         flow.bytes_received += packet.payload
         if flow.bytes_received >= flow.size_bytes and flow.completed_ns is None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ...errors import SimulationError
+from ...telemetry.trace import TRACK_PACKETS
 from ...transport.reliability import AckInfo, ReliableReceiver, ReliableSender
 from ...types import NodeId, usec
 from ..flows import SimFlow
@@ -133,6 +134,19 @@ class R2C2ReliableStack(R2C2Stack):
             raise SimulationError(f"packet for unknown flow {packet.flow_id}")
         if self._metrics is not None:
             self._metrics.packet_latency.record(self.loop.now - packet.sent_ns)
+        if (
+            self._tel_trace
+            and self._pkt_sample_every
+            and packet.seq % self._pkt_sample_every == 0
+        ):
+            self._tel_trace.complete(
+                f"flow {packet.flow_id}",
+                "packet",
+                packet.sent_ns,
+                self.loop.now - packet.sent_ns,
+                tid=TRACK_PACKETS,
+                args={"seq": packet.seq, "bytes": packet.size_bytes},
+            )
         receiver = self._receivers.get(packet.flow_id)
         if receiver is None:
             assert flow.total_segments is not None

@@ -1,0 +1,251 @@
+"""Chrome trace-event / Perfetto-compatible event tracing.
+
+The :class:`TraceRecorder` accumulates trace events in the JSON object
+format described by the Chrome Trace Event spec (the format Perfetto's
+legacy importer and ``chrome://tracing`` both load):
+
+* ``ph: "X"`` *complete* events — spans with a start and duration
+  (event-loop batches, sampled packet lifecycles);
+* ``ph: "i"`` *instant* events — points in time (controller epochs,
+  broadcast announce/re-announce rounds, invariant violations);
+* ``ph: "C"`` *counter* events — stacked time series rendered as area
+  charts (aggregate link utilization, queued bytes, drops).
+
+All timestamps are **simulated** nanoseconds converted to the format's
+microsecond unit; no wall-clock value ever enters a trace, so two runs of
+the same seeded scenario emit byte-identical files — determinism the test
+suite asserts, and the property that makes traces diffable across
+revisions.
+
+Tracks: each instrumented component claims a ``tid`` below and labels it
+with a thread-name metadata event, so Perfetto shows one named row per
+subsystem instead of an anonymous pile.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+#: Track (tid) assignments; one row per subsystem in the viewer.
+TRACK_SIM = 0        #: event-loop batches
+TRACK_CONTROLLER = 1  #: recompute epochs
+TRACK_BROADCAST = 2   #: announce / re-announce rounds
+TRACK_LINKS = 3       #: link-probe counters
+TRACK_PACKETS = 4     #: sampled packet lifecycles
+TRACK_VALIDATION = 5  #: invariant violations
+
+_TRACK_NAMES = {
+    TRACK_SIM: "event loop",
+    TRACK_CONTROLLER: "rate controller",
+    TRACK_BROADCAST: "broadcast",
+    TRACK_LINKS: "links",
+    TRACK_PACKETS: "packets (sampled)",
+    TRACK_VALIDATION: "validation",
+}
+
+
+def _us(ts_ns: int) -> float:
+    """Nanoseconds -> the trace format's microsecond unit."""
+    return ts_ns / 1e3
+
+
+class TraceRecorder:
+    """Accumulates trace events; export with :meth:`save` / :meth:`to_json`.
+
+    Args:
+        max_events: Safety bound — recording silently stops once this many
+            events have been captured (the ``truncated`` flag in the
+            exported ``otherData`` says so).  Traces are diagnostic
+            artifacts; a bounded, truncated trace beats an OOM.
+    """
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self._events: List[dict] = []
+        self._max_events = max_events
+        self.truncated = False
+        self._pid = 0
+        for tid, name in sorted(_TRACK_NAMES.items()):
+            self._meta_thread_name(tid, name)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # Event emission
+    # ------------------------------------------------------------------
+    def _append(self, event: dict) -> None:
+        if len(self._events) >= self._max_events:
+            self.truncated = True
+            return
+        self._events.append(event)
+
+    def _meta_thread_name(self, tid: int, name: str) -> None:
+        self._append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": self._pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        ts_ns: int,
+        dur_ns: int,
+        tid: int = TRACK_SIM,
+        args: Optional[dict] = None,
+    ) -> None:
+        """A span: ``ph: "X"`` with simulated start time and duration."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": _us(ts_ns),
+            "dur": _us(dur_ns),
+            "pid": self._pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts_ns: int,
+        tid: int = TRACK_SIM,
+        args: Optional[dict] = None,
+    ) -> None:
+        """A point event: ``ph: "i"``, thread-scoped."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": _us(ts_ns),
+            "pid": self._pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def counter(
+        self,
+        name: str,
+        ts_ns: int,
+        values: Dict[str, float],
+        tid: int = TRACK_LINKS,
+    ) -> None:
+        """A counter sample: ``ph: "C"`` (rendered as a stacked area)."""
+        self._append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": _us(ts_ns),
+                "pid": self._pid,
+                "tid": tid,
+                "args": dict(values),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def events(self) -> List[dict]:
+        """The recorded events (mutating the list is on you)."""
+        return self._events
+
+    def to_document(self) -> dict:
+        """The full trace document (JSON object format)."""
+        return {
+            "traceEvents": self._events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "generator": "repro.telemetry",
+                "clock": "simulated-ns",
+                "truncated": self.truncated,
+            },
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON rendering (sorted keys, no wall clock)."""
+        return json.dumps(self.to_document(), sort_keys=True)
+
+    def save(self, path) -> None:
+        """Write the trace JSON to *path* (load it in ui.perfetto.dev)."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+
+class EventLoopTracer:
+    """Adapter between :meth:`EventLoop.attach_batch_observer` and a trace.
+
+    Each event-loop batch (one ``run``/``run_batch`` call that processed at
+    least one event) becomes a span on the "event loop" track, annotated
+    with its event count.
+    """
+
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace: TraceRecorder) -> None:
+        self._trace = trace
+
+    def on_batch(self, start_ns: int, end_ns: int, processed: int) -> None:
+        self._trace.complete(
+            "batch",
+            "eventloop",
+            start_ns,
+            end_ns - start_ns,
+            tid=TRACK_SIM,
+            args={"events": processed},
+        )
+
+
+class NullTrace:
+    """Falsy recorder whose every method is a no-op (tracing disabled)."""
+
+    truncated = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def complete(self, name, cat, ts_ns, dur_ns, tid=0, args=None) -> None:
+        pass
+
+    def instant(self, name, cat, ts_ns, tid=0, args=None) -> None:
+        pass
+
+    def counter(self, name, ts_ns, values, tid=0) -> None:
+        pass
+
+    def events(self) -> List[dict]:
+        return []
+
+    def to_document(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ns", "otherData": {}}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_document(), sort_keys=True)
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+
+NULL_TRACE = NullTrace()

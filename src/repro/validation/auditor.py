@@ -82,12 +82,23 @@ class AuditReport:
 class InvariantAuditor:
     """Machine-checks the simulator's structural invariants at runtime."""
 
-    def __init__(self, strict: bool = True) -> None:
+    def __init__(self, strict: bool = True, telemetry=None) -> None:
         self.strict = strict
         self.enabled = True
         self.violations: List[str] = []
         self._loop = None
         self._network = None
+        # Telemetry sinks (repro.telemetry): violations become a counter
+        # and trace instants so an audited run's anomalies line up with
+        # the epoch/broadcast/link timeline.  Falsy when telemetry is off.
+        if telemetry is not None:
+            self._ctr_violations = (
+                telemetry.metrics.counter("validation.violations") or None
+            )
+            self._tel_trace = telemetry.trace or None
+        else:
+            self._ctr_violations = None
+            self._tel_trace = None
         # Event-loop causality state.
         self._last_at_ns = -1
         self._last_seq = -1
@@ -123,6 +134,18 @@ class InvariantAuditor:
     # ------------------------------------------------------------------
     def _violate(self, message: str) -> None:
         self.violations.append(message)
+        if self._ctr_violations:
+            self._ctr_violations.inc()
+        if self._tel_trace:
+            from ..telemetry.trace import TRACK_VALIDATION
+
+            self._tel_trace.instant(
+                "violation",
+                "validation",
+                self._loop.now if self._loop is not None else 0,
+                tid=TRACK_VALIDATION,
+                args={"message": message},
+            )
         if self.strict:
             raise InvariantViolation(message)
 

@@ -51,6 +51,15 @@ class TestStats:
         assert stats.max == 4.0
         assert set(stats.row()) == {"count", "mean", "p50", "p95", "p99", "max"}
 
+    def test_summary_empty_is_safe(self):
+        # Empty-safe: telemetry exports must not raise on a dry run.
+        stats = SummaryStats.of([])
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.to_dict() == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+        }
+
     def test_normalized_against(self):
         out = normalized_against({"a": 2.0, "b": 4.0}, "a")
         assert out == {"a": 1.0, "b": 2.0}

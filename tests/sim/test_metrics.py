@@ -32,9 +32,13 @@ class TestLatencyReservoir:
         # Median of 0..9999 is ~5000 ns = 5 us.
         assert res.percentile_us(50) == pytest.approx(5.0, rel=0.25)
 
-    def test_empty_percentile_raises(self):
-        with pytest.raises(SimulationError):
-            LatencyReservoir().percentile_us(50)
+    def test_empty_percentile_is_safe(self):
+        # Empty-safe: telemetry exports must not raise on a dry run.
+        reservoir = LatencyReservoir()
+        assert reservoir.percentile_us(50) == 0.0
+        assert reservoir.to_dict() == {
+            "count": 0, "mean_ns": 0.0, "max_ns": 0, "p50_us": 0.0, "p99_us": 0.0,
+        }
 
     def test_bad_capacity(self):
         with pytest.raises(SimulationError):

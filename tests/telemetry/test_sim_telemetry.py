@@ -1,0 +1,149 @@
+"""Integration tests: telemetry threaded through real simulation runs.
+
+The two load-bearing properties:
+
+* **Determinism** — two runs of the same seeded scenario produce
+  byte-identical trace and metrics JSON (no wall-clock leakage).
+* **Non-perturbation** — telemetry (enabled, disabled-null, or absent)
+  never changes simulation results: same FCTs, same wire bytes, same
+  event count.
+"""
+
+import json
+
+import pytest
+
+from repro.sim import SimConfig, run_simulation
+from repro.telemetry import Telemetry, TelemetryConfig
+from repro.topology import TorusTopology
+from repro.workloads import FixedSize, poisson_trace
+
+pytestmark = pytest.mark.telemetry
+
+
+def scenario():
+    topo = TorusTopology((3, 3))
+    trace = poisson_trace(topo, 20, 15_000, sizes=FixedSize(30_000), seed=5)
+    return topo, trace, SimConfig(stack="r2c2", seed=5)
+
+
+def run_with(telemetry):
+    topo, trace, config = scenario()
+    return run_simulation(topo, trace, config, telemetry=telemetry)
+
+
+def fingerprint(metrics):
+    return (
+        sorted((f.flow_id, f.fct_ns()) for f in metrics.completed_flows()),
+        metrics.total_bytes_on_wire,
+        metrics.broadcast_bytes,
+        metrics.drops,
+    )
+
+
+@pytest.fixture(scope="module")
+def enabled_run():
+    telemetry = Telemetry(TelemetryConfig())
+    return run_with(telemetry), telemetry
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_outputs(self, enabled_run):
+        _, first = enabled_run
+        second = Telemetry(TelemetryConfig())
+        run_with(second)
+        assert first.trace.to_json() == second.trace.to_json()
+        assert first.metrics.to_json() == second.metrics.to_json()
+
+
+class TestNonPerturbation:
+    def test_disabled_equals_enabled_equals_absent(self, enabled_run):
+        metrics_on, _ = enabled_run
+        metrics_null = run_with(Telemetry(TelemetryConfig(metrics=False, trace=False)))
+        metrics_off = run_with(None)
+        assert fingerprint(metrics_on) == fingerprint(metrics_null)
+        assert fingerprint(metrics_on) == fingerprint(metrics_off)
+
+
+class TestTraceContents:
+    def test_expected_event_families_present(self, enabled_run):
+        _, telemetry = enabled_run
+        events = telemetry.trace.events()
+        cats = {e.get("cat") for e in events}
+        # Controller epochs, broadcast announces, event-loop batches and
+        # link-probe counters all land in the trace.
+        assert "controller" in cats
+        assert "broadcast" in cats
+        assert "eventloop" in cats
+        assert "counter" in cats
+        epoch = [e for e in events if e["name"] == "epoch"]
+        assert epoch and all(
+            e["args"]["outcome"] in ("recomputed", "skipped") for e in epoch
+        )
+        probe = [e for e in events if e["name"] == "rack.queued_bytes"]
+        assert probe and all(e["ph"] == "C" for e in probe)
+
+    def test_trace_is_valid_chrome_trace_json(self, enabled_run):
+        _, telemetry = enabled_run
+        doc = json.loads(telemetry.trace.to_json())
+        assert isinstance(doc["traceEvents"], list)
+        for event in doc["traceEvents"]:
+            assert "ph" in event and "name" in event
+            if event["ph"] != "M":
+                assert "ts" in event
+
+
+class TestSnapshotContents:
+    def test_counters_match_sim_metrics_totals(self, enabled_run):
+        metrics, telemetry = enabled_run
+        snap = telemetry.metrics.snapshot()
+        counters = snap["counters"]
+        assert counters["wire.total_bytes"] == metrics.total_bytes_on_wire
+        assert counters["broadcast.wire_bytes"] == metrics.broadcast_bytes
+        assert counters["wire.drops"] == metrics.drops
+
+    def test_queue_histograms_populated(self, enabled_run):
+        _, telemetry = enabled_run
+        snap = telemetry.metrics.snapshot()
+        occupancy = snap["histograms"]["queue.occupancy_bytes"]
+        assert occupancy["count"] > 0
+        assert snap["histograms"]["queue.max_occupancy_bytes"]["count"] > 0
+
+    def test_epoch_counters_match_summary(self, enabled_run):
+        metrics, telemetry = enabled_run
+        counters = telemetry.metrics.snapshot()["counters"]
+        recomputed = counters.get('controller.epochs{outcome="recomputed"}', 0)
+        skipped = counters.get('controller.epochs{outcome="skipped"}', 0)
+        assert recomputed == metrics.epochs_recomputed
+        assert skipped == metrics.epochs_skipped
+        assert recomputed > 0
+
+    def test_link_series_recorded(self, enabled_run):
+        _, telemetry = enabled_run
+        series = telemetry.metrics.snapshot()["series"]
+        assert "rack.queued_bytes" in series
+        assert any(name.startswith("link.util{") for name in series)
+
+
+class TestCli:
+    def test_simulate_trace_metrics_and_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            [
+                "simulate", "--dims", "3x3", "--flows", "15",
+                "--interarrival-ns", "20000", "--mean-bytes", "20000",
+                "--trace", str(trace_path), "--metrics", str(metrics_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(trace_path.read_text())
+        assert doc["traceEvents"]
+        snap = json.loads(metrics_path.read_text())
+        assert snap["counters"]["wire.total_bytes"] > 0
+        assert main(["report", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wire.total_bytes" in out
+        assert "queue.occupancy_bytes" in out

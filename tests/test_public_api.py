@@ -17,6 +17,7 @@ SUBPACKAGES = (
     "repro.routing",
     "repro.selection",
     "repro.sim",
+    "repro.telemetry",
     "repro.topology",
     "repro.transport",
     "repro.validation",
