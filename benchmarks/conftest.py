@@ -16,75 +16,39 @@ Scale is controlled by the ``REPRO_SCALE`` environment variable:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 from pathlib import Path
 
 import pytest
 
 from repro.congestion.linkweights import WeightProvider
+from repro.core import atomic_write_text
+
+# The scale tables are owned by repro.experiments.scales (the campaign
+# runner shares them); re-exported here so benchmarks keep importing them
+# from conftest as before.
+from repro.experiments.scales import SCALE_ENV_VAR, SCALES, Scale
+from repro.experiments.scales import current_scale as _current_scale
 from repro.topology import TorusTopology
 from repro.types import usec
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-
-@dataclass(frozen=True)
-class Scale:
-    """Per-scale experiment parameters."""
-
-    name: str
-    torus_dims: tuple
-    n_flows: int
-    tau_sweep_ns: tuple  # flow inter-arrival times for the load sweeps
-    tau_default_ns: int
-    crossval_flows: int
-    fig18_loads: tuple
-
-    @property
-    def n_nodes(self) -> int:
-        n = 1
-        for d in self.torus_dims:
-            n *= d
-        return n
-
-
-SCALES = {
-    "small": Scale(
-        name="small",
-        torus_dims=(4, 4, 4),
-        n_flows=600,
-        tau_sweep_ns=(1_000, 5_000, 25_000),
-        tau_default_ns=2_000,
-        crossval_flows=60,
-        fig18_loads=(0.125, 0.25, 0.5, 0.75, 1.0),
-    ),
-    "medium": Scale(
-        name="medium",
-        torus_dims=(6, 6, 6),
-        n_flows=1_500,
-        tau_sweep_ns=(500, 1_000, 10_000, 50_000),
-        tau_default_ns=1_000,
-        crossval_flows=150,
-        fig18_loads=(0.125, 0.25, 0.5, 0.75, 1.0),
-    ),
-    "paper": Scale(
-        name="paper",
-        torus_dims=(8, 8, 8),
-        n_flows=4_000,
-        tau_sweep_ns=(100, 1_000, 10_000, 100_000),
-        tau_default_ns=1_000,
-        crossval_flows=1_000,
-        fig18_loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
-    ),
-}
+__all__ = ["RESULTS_DIR", "SCALES", "Scale", "current_scale", "emit", "sweep_run"]
 
 
 def current_scale() -> Scale:
     """The scale selected by REPRO_SCALE (default: small)."""
-    name = os.environ.get("REPRO_SCALE", "small")
-    if name not in SCALES:
-        raise ValueError(f"REPRO_SCALE must be one of {sorted(SCALES)}, got {name!r}")
-    return SCALES[name]
+    return _current_scale()
+
+
+def pytest_configure(config):
+    # Validate REPRO_SCALE up front so a typo fails with one clear usage
+    # error instead of an identical collection-time traceback per module.
+    name = os.environ.get(SCALE_ENV_VAR)
+    if name is not None and name not in SCALES:
+        raise pytest.UsageError(
+            f"{SCALE_ENV_VAR} must be one of {sorted(SCALES)}, got {name!r}"
+        )
 
 
 def emit(figure: str, text: str) -> None:
@@ -92,8 +56,7 @@ def emit(figure: str, text: str) -> None:
     banner = f"\n===== {figure} [scale={current_scale().name}] =====\n"
     print(banner + text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{figure}.txt"
-    path.write_text(banner + text + "\n")
+    atomic_write_text(RESULTS_DIR / f"{figure}.txt", banner + text + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -39,8 +39,13 @@ from __future__ import annotations
 import argparse
 import json
 import statistics
+import sys
 import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent / "src"))
+
+from repro.core import atomic_write_text  # noqa: E402
 
 #: A fresh run slower than ``factor * last_recorded_median`` fails --check.
 REGRESSION_FACTOR = 3.0
@@ -92,7 +97,9 @@ def record_entry(doc: dict, scenario: str, description: str, entry: dict) -> Non
 
 
 def save_history(path: Path, doc: dict) -> None:
-    path.write_text(json.dumps(doc, indent=2) + "\n")
+    # Atomic (write → fsync → rename) so an interrupted run can never
+    # leave a truncated history file checked into the repo.
+    atomic_write_text(path, json.dumps(doc, indent=2) + "\n")
 
 
 def check_regression(doc: dict, scenario: str, median_s: float) -> str:

@@ -13,30 +13,19 @@ Paper values (fractions of capacity):
 
 This one is exact analysis (channel loads + worst-case matchings), so it is
 independent of REPRO_SCALE and should match the paper closely.
+
+Runs as a ``repro.experiments`` campaign (serial, in-process, uncached) —
+the same spec ``repro sweep fig02`` executes in parallel; the campaign
+runner guarantees identical results either way.
 """
 
 import pytest
 
-from repro.analysis import format_table, throughput_table
-from repro.routing import (
-    DestinationTagRouting,
-    RandomPacketSpraying,
-    ValiantLoadBalancing,
-    WeightedLoadBalancing,
-)
-from repro.topology import TorusTopology
-from repro.workloads import STANDARD_PATTERNS
+from repro.experiments import ExecutorConfig, current_scale, run_campaign
+from repro.experiments.figures import FIG02_PAPER as PAPER
+from repro.experiments.figures import FIGURES, fig02_table
 
 from conftest import emit
-
-PAPER = {
-    "nearest-neighbor": {"rps": 4.0, "dor": 4.0, "vlb": 0.5, "wlb": 2.33},
-    "uniform": {"rps": 1.0, "dor": 1.0, "vlb": 0.5, "wlb": 0.76},
-    "bit-complement": {"rps": 0.4, "dor": 0.5, "vlb": 0.5, "wlb": 0.42},
-    "transpose": {"rps": 0.54, "dor": 0.25, "vlb": 0.5, "wlb": 0.57},
-    "tornado": {"rps": 0.33, "dor": 0.33, "vlb": 0.5, "wlb": 0.53},
-    "worst-case": {"rps": 0.21, "dor": 0.25, "vlb": 0.5, "wlb": 0.31},
-}
 
 PATTERN_ORDER = (
     "nearest-neighbor",
@@ -48,38 +37,18 @@ PATTERN_ORDER = (
 )
 
 
-def build_table():
-    topo = TorusTopology((8, 8))
-    protocols = [
-        RandomPacketSpraying(topo),
-        DestinationTagRouting(topo),
-        ValiantLoadBalancing(topo),
-        WeightedLoadBalancing(topo),
-    ]
-    patterns = [STANDARD_PATTERNS[p] for p in PATTERN_ORDER if p != "worst-case"]
-    return throughput_table(protocols, patterns, include_worst_case=True)
+def run_fig02_campaign():
+    campaign = FIGURES["fig02"].build(current_scale())
+    return run_campaign(campaign, ExecutorConfig(workers=1, strict=True)).results
 
 
 def test_fig02_routing_throughput_table(benchmark):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    results = benchmark.pedantic(run_fig02_campaign, rounds=1, iterations=1)
+    table = fig02_table(results)
 
-    rows = {}
-    for pattern in PATTERN_ORDER:
-        measured = table[pattern]
-        rows[pattern] = [
-            measured["rps"], measured["dor"], measured["vlb"], measured["wlb"],
-            "| paper:",
-            PAPER[pattern]["rps"], PAPER[pattern]["dor"],
-            PAPER[pattern]["vlb"], PAPER[pattern]["wlb"],
-        ]
-    emit(
-        "fig02_routing_table",
-        format_table(
-            "Throughput as fraction of capacity, 8-ary 2-cube (measured | paper)",
-            ["rps", "dor", "vlb", "wlb", "", "rps", "dor", "vlb", "wlb"],
-            rows,
-        ),
-    )
+    scale = current_scale()
+    for stem, text in FIGURES["fig02"].aggregate(results, scale).items():
+        emit(stem, text)
 
     # Shape assertions: the paper's qualitative structure.
     assert table["nearest-neighbor"]["rps"] == pytest.approx(4.0, abs=0.05)

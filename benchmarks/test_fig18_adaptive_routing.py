@@ -14,8 +14,10 @@ and discarded).
 
 import pytest
 
-from repro.analysis import format_series, format_table
+from repro.analysis import format_table
 from repro.congestion import FlowSpec
+from repro.experiments import ExecutorConfig, current_scale, run_campaign
+from repro.experiments.figures import FIGURES, fig18_rows
 from repro.selection import (
     AnnealingConfig,
     AnnealingSelector,
@@ -26,12 +28,11 @@ from repro.selection import (
     LogLinearConfig,
     LogLinearSelector,
     SelectionProblem,
-    random_baseline,
     uniform_baseline,
 )
 from repro.workloads import permutation_load_trace
 
-from conftest import current_scale, emit
+from conftest import emit
 
 
 def make_problem(topology, provider, load, seed=18):
@@ -40,39 +41,25 @@ def make_problem(topology, provider, load, seed=18):
     return SelectionProblem(topology, flows, protocols=("rps", "vlb"), provider=provider)
 
 
-def test_fig18_adaptive_vs_baselines(benchmark, eval_topology, eval_provider):
+def test_fig18_adaptive_vs_baselines(benchmark):
+    """Runs the fig18 campaign (serial, in-process) — the same spec
+    ``repro sweep fig18`` executes in parallel."""
     scale = current_scale()
-    ga = GeneticSelector(GeneticConfig(max_generations=20, patience=6, seed=18))
 
     def sweep():
-        rows = {}
-        for load in scale.fig18_loads:
-            problem = make_problem(eval_topology, eval_provider, load)
-            adaptive = ga.search(problem).utility
-            rows[load] = {
-                "adaptive": adaptive,
-                "rps": uniform_baseline(problem, "rps").utility,
-                "vlb": uniform_baseline(problem, "vlb").utility,
-                "random": random_baseline(problem, seed=18).utility,
-            }
-        return rows
+        campaign = FIGURES["fig18"].build(scale)
+        run = run_campaign(campaign, ExecutorConfig(workers=1, strict=True))
+        return run.results
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = fig18_rows(results, scale)
     loads = list(scale.fig18_loads)
     series = {
         name: [rows[load]["adaptive"] / rows[load][name] for load in loads]
         for name in ("rps", "vlb", "random")
     }
-    emit(
-        "fig18_adaptive_routing",
-        format_series(
-            "Fig 18: Adaptive (GA) aggregate throughput normalized to each baseline",
-            "load",
-            loads,
-            {f"vs_{k}": v for k, v in series.items()},
-        )
-        + "\n\n(>1 everywhere reproduces the paper's claim)",
-    )
+    for stem, text in FIGURES["fig18"].aggregate(results, scale).items():
+        emit(stem, text)
 
     # Adaptive never loses to any baseline.
     for name, values in series.items():

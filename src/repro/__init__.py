@@ -25,8 +25,10 @@ __version__ = "1.0.0"
 
 from .errors import (
     BroadcastError,
+    CampaignInterrupted,
     CongestionControlError,
     EmulationError,
+    ExperimentError,
     ReproError,
     RoutingError,
     SelectionError,
@@ -37,8 +39,10 @@ from .errors import (
 
 __all__ = [
     "BroadcastError",
+    "CampaignInterrupted",
     "CongestionControlError",
     "EmulationError",
+    "ExperimentError",
     "ReproError",
     "RoutingError",
     "SelectionError",

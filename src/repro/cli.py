@@ -9,6 +9,8 @@ Commands:
 * ``report``    — pretty-print a ``--metrics`` snapshot.
 * ``figure2``   — print the routing-throughput table for a 2D torus.
 * ``claims``    — check the paper's headline numeric claims.
+* ``sweep``     — run an evaluation campaign (parallel, cached, resumable).
+* ``figures``   — run a figure campaign and emit its results tables.
 
 The CLI is a thin veneer over the library; every command maps to a few
 lines of public API (printed with ``--show-code`` for discoverability).
@@ -269,6 +271,125 @@ def cmd_claims(args) -> int:
     return 0 if ok else 1
 
 
+def _campaign_from_args(args):
+    """Build the (possibly filtered) campaign plus executor config."""
+    from .errors import ExperimentError
+    from .experiments import ExecutorConfig, campaign_for, current_scale
+    from .validation import FaultEvent
+
+    if args.figure is None:
+        raise ExperimentError(
+            "missing figure name (try `repro sweep --list` for choices)"
+        )
+    scale = current_scale(args.scale)
+    campaign = campaign_for(args.figure, scale)
+    if args.only:
+        kept = [s for s in campaign.scenarios if args.only in s.name]
+        if not kept:
+            raise ExperimentError(
+                f"--only {args.only!r} matches none of the "
+                f"{len(campaign.scenarios)} scenarios of {campaign.name}"
+            )
+        # Task seeds/fingerprints depend only on (campaign seed, scenario,
+        # replicate), so a filtered run shares its cache with full runs.
+        campaign = type(campaign)(
+            name=campaign.name,
+            scenarios=kept,
+            seed=campaign.seed,
+            description=campaign.description,
+        )
+    fault_events = []
+    if args.max_tasks is not None:
+        fault_events.append(
+            FaultEvent(at_ns=args.max_tasks, kind="kill_campaign", target=None)
+        )
+    for spec in args.fail_task or ():
+        key, _, count = spec.partition(":")
+        fault_events.append(
+            FaultEvent(
+                at_ns=int(count) if count else 1,
+                kind="worker_failure",
+                target=key,
+            )
+        )
+    config = ExecutorConfig(
+        workers=args.workers,
+        task_timeout_s=args.timeout,
+        max_retries=args.retries,
+    )
+    return scale, campaign, config, fault_events
+
+
+def _run_campaign_cli(args):
+    from .experiments import run_campaign
+
+    scale, campaign, config, fault_events = _campaign_from_args(args)
+    if args.dry_run:
+        print(f"campaign {campaign.name} [scale={scale.name}]: "
+              f"{len(campaign.expand())} task(s)")
+        for task in campaign.expand():
+            print(f"  {task.key}  seed={task.seed}  fp={task.fingerprint()[:12]}")
+        return scale, campaign, None
+    result = run_campaign(
+        campaign,
+        config,
+        cache_dir=args.cache_dir,
+        fault_events=fault_events,
+        progress=print,
+    )
+    counts = result.manifest["counts"]
+    print(
+        f"campaign {campaign.name} [scale={scale.name}]: {result.status} — "
+        f"{counts['tasks']} task(s), {counts['cache_hits']} cached, "
+        f"{counts['computed']} computed, {counts['failed']} failed, "
+        f"{counts['retries']} retrie(s), "
+        f"{result.manifest['wallclock_s']:.2f}s wall "
+        f"[mode={result.manifest['mode']}]"
+    )
+    return scale, campaign, result
+
+
+_SWEEP_EXIT_CODES = {"complete": 0, "failed": 1, "interrupted": 3}
+
+
+def cmd_sweep(args) -> int:
+    from .experiments import FIGURES
+
+    if args.list:
+        for name in sorted(FIGURES):
+            fig = FIGURES[name]
+            print(f"  {name:10s} {fig.title}")
+        return 0
+    _scale, _campaign, result = _run_campaign_cli(args)
+    if result is None:  # --dry-run
+        return 0
+    return _SWEEP_EXIT_CODES[result.status]
+
+
+def cmd_figures(args) -> int:
+    from pathlib import Path
+
+    from .core import atomic_write_text
+    from .experiments import FIGURES
+
+    scale, campaign, result = _run_campaign_cli(args)
+    if result is None:  # --dry-run
+        return 0
+    if result.status != "complete":
+        print(f"campaign incomplete ({result.status}); no tables emitted")
+        return _SWEEP_EXIT_CODES[result.status]
+    results_dir = Path(args.results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    for stem, text in FIGURES[args.figure].aggregate(result.results, scale).items():
+        # Same banner format as benchmarks/conftest.emit, so CLI-emitted
+        # tables are byte-identical to pytest-emitted ones.
+        banner = f"\n===== {stem} [scale={scale.name}] =====\n"
+        print(banner + text)
+        atomic_write_text(results_dir / f"{stem}.txt", banner + text + "\n")
+        print(f"table written to {results_dir / (stem + '.txt')}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -334,14 +455,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_claims = sub.add_parser("claims", help="verify headline paper claims")
     p_claims.set_defaults(func=cmd_claims)
 
+    def add_campaign_args(p):
+        p.add_argument("figure", nargs="?", default=None,
+                       help="figure campaign to run (see `repro sweep --list`)")
+        p.add_argument("--scale", default=None,
+                       choices=("small", "medium", "paper"),
+                       help="experiment scale (default: $REPRO_SCALE or small)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes; 1 = serial in-process")
+        p.add_argument("--cache-dir", default=".repro_cache",
+                       help="content-addressed result cache root "
+                            "(resume re-runs only missing tasks)")
+        p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-task timeout in seconds (pool mode)")
+        p.add_argument("--retries", type=int, default=2,
+                       help="retry budget per task on worker failure")
+        p.add_argument("--only", default=None, metavar="SUBSTR",
+                       help="run only scenarios whose name contains SUBSTR")
+        p.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                       help="stop (crash-simulate) after N freshly computed "
+                            "tasks; exit code 3, resume by re-running")
+        p.add_argument("--fail-task", action="append", default=None,
+                       metavar="KEY[:N]",
+                       help="inject N (default 1) worker failures for task "
+                            "KEY to exercise the retry path")
+        p.add_argument("--dry-run", action="store_true",
+                       help="list the campaign's tasks without running")
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run an evaluation campaign (parallel, cached, resumable)",
+    )
+    add_campaign_args(p_sweep)
+    p_sweep.add_argument("--list", action="store_true",
+                         help="list available figure campaigns")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_figures = sub.add_parser(
+        "figures",
+        help="run a figure campaign and emit its benchmarks/results tables",
+    )
+    add_campaign_args(p_figures)
+    p_figures.add_argument("--results-dir", default="benchmarks/results",
+                           help="where to write the *.txt tables")
+    p_figures.set_defaults(func=cmd_figures)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
+    from .errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

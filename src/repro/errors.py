@@ -77,3 +77,25 @@ class SelectionError(ReproError):
     """Raised by routing-protocol selection heuristics for invalid search
     spaces (e.g. an empty candidate protocol set).
     """
+
+
+class ExperimentError(ReproError):
+    """Raised by the :mod:`repro.experiments` campaign runner.
+
+    Covers malformed scenario/campaign specs, unknown figures or scales,
+    and campaigns that exhaust their per-task retry budget in strict mode.
+    """
+
+
+class CampaignInterrupted(ExperimentError):
+    """A campaign stopped before finishing every task.
+
+    Raised by the executor when an injected kill fires (crash-simulation
+    hooks, ``--max-tasks``) — completed tasks are already persisted in the
+    result cache, so a subsequent run resumes where this one stopped.
+    """
+
+    def __init__(self, message: str, completed: int = 0, remaining: int = 0):
+        super().__init__(message)
+        self.completed = completed
+        self.remaining = remaining

@@ -1,0 +1,95 @@
+"""Experiment scales: the parameter tables behind ``REPRO_SCALE``.
+
+The paper's evaluation runs on a 512-node 3D torus; reproducing every
+figure at that scale takes hours, so the benchmark harness and the
+campaign runner share three parameter tables — ``small`` (CI-friendly),
+``medium`` and ``paper`` — selected by the ``REPRO_SCALE`` environment
+variable.  Absolute numbers change with scale; the *shape* of each figure
+(who wins, by what factor, where crossovers fall) is the claim being
+reproduced.
+
+Previously these tables lived in ``benchmarks/conftest.py``; they moved
+here so the :mod:`repro.experiments` subsystem can expand campaign grids
+without importing pytest plumbing, and so the tables are unit-testable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ExperimentError
+
+__all__ = ["Scale", "SCALES", "SCALE_ENV_VAR", "current_scale"]
+
+#: Environment variable selecting the active scale.
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Per-scale experiment parameters."""
+
+    name: str
+    torus_dims: tuple
+    n_flows: int
+    tau_sweep_ns: tuple  # flow inter-arrival times for the load sweeps
+    tau_default_ns: int
+    crossval_flows: int
+    fig18_loads: tuple
+
+    @property
+    def n_nodes(self) -> int:
+        n = 1
+        for d in self.torus_dims:
+            n *= d
+        return n
+
+
+SCALES: Dict[str, Scale] = {
+    "small": Scale(
+        name="small",
+        torus_dims=(4, 4, 4),
+        n_flows=600,
+        tau_sweep_ns=(1_000, 5_000, 25_000),
+        tau_default_ns=2_000,
+        crossval_flows=60,
+        fig18_loads=(0.125, 0.25, 0.5, 0.75, 1.0),
+    ),
+    "medium": Scale(
+        name="medium",
+        torus_dims=(6, 6, 6),
+        n_flows=1_500,
+        tau_sweep_ns=(500, 1_000, 10_000, 50_000),
+        tau_default_ns=1_000,
+        crossval_flows=150,
+        fig18_loads=(0.125, 0.25, 0.5, 0.75, 1.0),
+    ),
+    "paper": Scale(
+        name="paper",
+        torus_dims=(8, 8, 8),
+        n_flows=4_000,
+        tau_sweep_ns=(100, 1_000, 10_000, 100_000),
+        tau_default_ns=1_000,
+        crossval_flows=1_000,
+        fig18_loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    ),
+}
+
+
+def current_scale(name: Optional[str] = None) -> Scale:
+    """The scale named by *name*, or by ``REPRO_SCALE`` (default: small).
+
+    Raises :class:`~repro.errors.ExperimentError` with the valid choices
+    for an unknown name — callers embedding this in pytest collection
+    should re-raise as a usage error (see ``benchmarks/conftest.py``).
+    """
+    if name is None:
+        name = os.environ.get(SCALE_ENV_VAR, "small")
+    if name not in SCALES:
+        raise ExperimentError(
+            f"unknown scale {name!r}: {SCALE_ENV_VAR} must be one of "
+            f"{', '.join(sorted(SCALES))}"
+        )
+    return SCALES[name]

@@ -1,0 +1,261 @@
+"""Declarative campaign specs: scenarios, campaigns, tasks, fingerprints.
+
+A :class:`Scenario` names one cell family of an evaluation sweep — a
+topology, a workload, a stack/algorithm and its parameters, plus how many
+seeded replicates to run.  A :class:`Campaign` is an ordered set of
+scenarios sharing one campaign seed; :meth:`Campaign.expand` turns it into
+concrete :class:`Task` objects, one per (scenario, replicate), each with a
+deterministic seed derived via :func:`repro.core.derive_seed` and a
+content fingerprint that keys the result cache.
+
+Everything round-trips through JSON so specs can cross process boundaries
+(the parallel executor ships task payloads to worker processes) and be
+checked into manifests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.seeds import derive_seed
+from ..errors import ExperimentError
+
+__all__ = ["CACHE_SCHEMA_VERSION", "Scenario", "Campaign", "Task"]
+
+#: Bumped whenever task semantics change in a way that invalidates cached
+#: results (it participates in every task fingerprint).
+CACHE_SCHEMA_VERSION = 1
+
+#: Task kinds the executor knows how to run (see :mod:`.tasks`).
+TASK_KINDS = ("probe", "routing", "sim", "selection", "crossval")
+
+
+def _freeze_params(params: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Canonicalize a params mapping into a sorted, hashable pair tuple."""
+    if params is None:
+        return ()
+    if isinstance(params, Mapping):
+        items = params.items()
+    else:
+        items = params  # already pairs
+    frozen = []
+    for key, value in sorted((str(k), v) for k, v in items):
+        if isinstance(value, list):
+            value = tuple(value)
+        frozen.append((key, value))
+    return tuple(frozen)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, list):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    return value
+
+
+def _fingerprint(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of *payload*."""
+    text = json.dumps(_jsonable(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One sweep cell family: what to run and with how many replicates.
+
+    ``params`` accepts any mapping and is canonicalized to a sorted tuple
+    of pairs so scenarios are hashable and fingerprint-stable regardless
+    of insertion order.
+    """
+
+    name: str
+    kind: str = "sim"
+    topology: str = "torus"
+    dims: Tuple[int, ...] = (4, 4, 4)
+    capacity_bps: Optional[float] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+    replicates: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS:
+            raise ExperimentError(
+                f"scenario {self.name!r}: unknown kind {self.kind!r}; "
+                f"choose from {TASK_KINDS}"
+            )
+        if self.replicates < 1:
+            raise ExperimentError(
+                f"scenario {self.name!r}: replicates must be >= 1"
+            )
+        object.__setattr__(self, "dims", tuple(int(d) for d in self.dims))
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "topology": self.topology,
+            "dims": list(self.dims),
+            "capacity_bps": self.capacity_bps,
+            "params": {k: _jsonable(v) for k, v in self.params},
+            "replicates": self.replicates,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        try:
+            return cls(
+                name=data["name"],
+                kind=data.get("kind", "sim"),
+                topology=data.get("topology", "torus"),
+                dims=tuple(data.get("dims", (4, 4, 4))),
+                capacity_bps=data.get("capacity_bps"),
+                params=data.get("params", {}),
+                replicates=int(data.get("replicates", 1)),
+            )
+        except KeyError as exc:
+            raise ExperimentError(f"scenario spec missing field {exc}") from None
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that affects this scenario's results."""
+        return _fingerprint(self.to_dict())
+
+
+@dataclass(frozen=True)
+class Task:
+    """One concrete unit of work: a scenario replicate with its own seed."""
+
+    scenario: Scenario
+    replicate: int
+    seed: int
+    key: str  # "scenario-name/rN" — stable, human-readable task id
+
+    def fingerprint(self) -> str:
+        """The result-cache key: scenario content + replicate + seed + the
+        cache schema version (the "code-relevant config")."""
+        return _fingerprint(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "scenario": self.scenario.to_dict(),
+                "replicate": self.replicate,
+                "seed": self.seed,
+            }
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-able form shipped to worker processes."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "replicate": self.replicate,
+            "seed": self.seed,
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "Task":
+        return cls(
+            scenario=Scenario.from_dict(payload["scenario"]),
+            replicate=int(payload["replicate"]),
+            seed=int(payload["seed"]),
+            key=payload["key"],
+        )
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """An ordered set of scenarios sharing one campaign seed."""
+
+    name: str
+    scenarios: Tuple[Scenario, ...] = ()
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ExperimentError(
+                f"campaign {self.name!r}: duplicate scenario names {dupes}"
+            )
+
+    def expand(self) -> List[Task]:
+        """Concrete tasks, in deterministic (scenario order, replicate) order.
+
+        Each task's seed is ``derive_seed(campaign seed, scenario
+        fingerprint, replicate)`` — stable across processes and machines,
+        distinct across scenarios and replicates.
+        """
+        tasks: List[Task] = []
+        for scenario in self.scenarios:
+            fp = scenario.fingerprint()
+            for replicate in range(scenario.replicates):
+                tasks.append(
+                    Task(
+                        scenario=scenario,
+                        replicate=replicate,
+                        seed=derive_seed(self.seed, fp, replicate),
+                        key=f"{scenario.name}/r{replicate}",
+                    )
+                )
+        return tasks
+
+    def fingerprint(self) -> str:
+        return _fingerprint(self.to_dict())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "description": self.description,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Campaign":
+        return cls(
+            name=data["name"],
+            scenarios=tuple(
+                Scenario.from_dict(s) for s in data.get("scenarios", ())
+            ),
+            seed=int(data.get("seed", 0)),
+            description=data.get("description", ""),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Campaign":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,291 @@
+"""Worker-side task execution: one function per scenario kind.
+
+:func:`execute_payload` is the module-level entry point the parallel
+executor submits to worker processes (it must be importable by name, so it
+lives here rather than as a closure).  Each kind returns a plain JSON-able
+dict; the campaign runner persists it in the result cache and aggregates
+it into figure tables and the campaign manifest.
+
+Kinds:
+
+* ``probe``     — a trivial task for tests and smoke runs (echoes its seed,
+  optionally sleeps or fails on early attempts).
+* ``routing``   — one Figure 2 cell: saturation throughput of a routing
+  protocol under a traffic pattern (or its adversarial worst case).
+* ``sim``       — one packet-level simulation run (Figures 10-17 cells).
+* ``selection`` — one Figure 18 cell: a protocol-selection search or
+  baseline at a given load.
+* ``crossval``  — the Figure 7 Maze-vs-simulator cross-validation pair.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Mapping
+
+from ..errors import ExperimentError
+from .spec import Task
+
+__all__ = ["execute_payload", "execute_task", "InjectedWorkerFailure"]
+
+
+class InjectedWorkerFailure(RuntimeError):
+    """A deliberately injected worker failure (chaos/retry testing)."""
+
+
+def _build_topology(task: Task):
+    from ..topology import HypercubeTopology, MeshTopology, TorusTopology
+
+    kwargs = {}
+    if task.scenario.capacity_bps is not None:
+        kwargs["capacity_bps"] = task.scenario.capacity_bps
+    kind = task.scenario.topology
+    if kind == "torus":
+        return TorusTopology(task.scenario.dims, **kwargs)
+    if kind == "mesh":
+        return MeshTopology(task.scenario.dims, **kwargs)
+    if kind == "hypercube":
+        return HypercubeTopology(task.scenario.dims[0], **kwargs)
+    raise ExperimentError(f"task {task.key}: unknown topology {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Kind executors
+# ----------------------------------------------------------------------
+def _run_probe(task: Task) -> Dict[str, Any]:
+    params = task.scenario.params_dict
+    sleep_s = float(params.get("sleep_s", 0.0))
+    if sleep_s:
+        time.sleep(sleep_s)
+    return {
+        "seed": task.seed,
+        "replicate": task.replicate,
+        "value": task.seed % 997,
+    }
+
+
+def _run_routing(task: Task) -> Dict[str, Any]:
+    from ..analysis import saturation_throughput
+    from ..routing.base import make_protocol
+    from ..workloads import STANDARD_PATTERNS
+    from ..workloads.worstcase import worst_case_throughput
+
+    topology = _build_topology(task)
+    protocol_name = task.scenario.param("protocol")
+    pattern_name = task.scenario.param("pattern")
+    if protocol_name is None or pattern_name is None:
+        raise ExperimentError(
+            f"task {task.key}: routing tasks need 'protocol' and 'pattern'"
+        )
+    protocol = make_protocol(protocol_name, topology)
+    if pattern_name == "worst-case":
+        throughput = worst_case_throughput(protocol)
+    else:
+        if pattern_name not in STANDARD_PATTERNS:
+            raise ExperimentError(
+                f"task {task.key}: unknown pattern {pattern_name!r}"
+            )
+        matrix = STANDARD_PATTERNS[pattern_name].matrix(topology)
+        throughput = saturation_throughput(protocol, matrix)
+    return {
+        "protocol": protocol_name,
+        "pattern": pattern_name,
+        "throughput": float(throughput),
+    }
+
+
+def _make_trace(task: Task, topology):
+    from ..workloads import (
+        FixedSize,
+        ParetoSizes,
+        permutation_load_trace,
+        poisson_trace,
+    )
+
+    params = task.scenario.params_dict
+    workload = params.get("workload", "poisson")
+    trace_seed = int(params.get("trace_seed", task.seed))
+    if workload == "poisson":
+        size_kind = params.get("sizes", "pareto")
+        if size_kind == "fixed":
+            sizes = FixedSize(int(params.get("flow_bytes", 1_000_000)))
+        else:
+            sizes = ParetoSizes(
+                mean_bytes=int(params.get("mean_bytes", 100 * 1024)),
+                shape=float(params.get("shape", 1.05)),
+                cap_bytes=int(params.get("cap_bytes", 20_000_000)),
+            )
+        return poisson_trace(
+            topology,
+            int(params.get("n_flows", 100)),
+            float(params.get("tau_ns", 5_000)),
+            sizes=sizes,
+            seed=trace_seed,
+        )
+    if workload == "permutation":
+        return permutation_load_trace(
+            topology,
+            float(params.get("load", 0.25)),
+            seed=trace_seed,
+        )
+    raise ExperimentError(f"task {task.key}: unknown workload {workload!r}")
+
+
+def _run_sim(task: Task) -> Dict[str, Any]:
+    from ..sim import SimConfig, run_simulation
+    from ..telemetry import Telemetry, TelemetryConfig
+
+    params = task.scenario.params_dict
+    topology = _build_topology(task)
+    trace = _make_trace(task, topology)
+    config = SimConfig(
+        stack=params.get("stack", "r2c2"),
+        headroom=float(params.get("headroom", 0.05)),
+        mtu_payload=int(params.get("mtu_payload", 1500)),
+        seed=int(params.get("sim_seed", task.seed)),
+    )
+    telemetry = Telemetry(
+        TelemetryConfig(metrics=True, trace=False, per_link_series=False)
+    )
+    metrics = run_simulation(topology, trace, config, telemetry=telemetry)
+    result: Dict[str, Any] = {
+        "stack": config.stack,
+        "summary": metrics.summary(),
+        "completion_rate": metrics.completion_rate(),
+        "short_fcts_us": sorted(metrics.short_fcts_us()),
+        "long_tputs_gbps": sorted(metrics.long_throughputs_gbps()),
+        "queue_occupancy_bytes": sorted(metrics.max_queue_occupancy_bytes),
+        "telemetry": _rollup_snapshot(telemetry.metrics.snapshot()),
+    }
+    return result
+
+
+def _run_selection(task: Task) -> Dict[str, Any]:
+    from ..congestion import FlowSpec
+    from ..congestion.linkweights import WeightProvider
+    from ..selection import (
+        GeneticConfig,
+        GeneticSelector,
+        SelectionProblem,
+        random_baseline,
+        uniform_baseline,
+    )
+    from ..workloads import permutation_load_trace
+
+    params = task.scenario.params_dict
+    topology = _build_topology(task)
+    load = float(params.get("load", 0.25))
+    search_seed = int(params.get("search_seed", task.seed))
+    trace = permutation_load_trace(
+        topology, load, seed=int(params.get("trace_seed", task.seed))
+    )
+    flows = [FlowSpec(a.flow_id, a.src, a.dst, protocol="rps") for a in trace]
+    problem = SelectionProblem(
+        topology,
+        flows,
+        protocols=tuple(params.get("protocols", ("rps", "vlb"))),
+        provider=WeightProvider(topology),
+    )
+    selector = params.get("selector", "genetic")
+    if selector == "genetic":
+        result = GeneticSelector(
+            GeneticConfig(
+                max_generations=int(params.get("max_generations", 20)),
+                patience=int(params.get("patience", 6)),
+                seed=search_seed,
+            )
+        ).search(problem)
+    elif selector == "uniform":
+        result = uniform_baseline(problem, params.get("protocol", "rps"))
+    elif selector == "random":
+        result = random_baseline(problem, seed=search_seed)
+    else:
+        raise ExperimentError(
+            f"task {task.key}: unknown selector {selector!r}"
+        )
+    return {
+        "selector": selector,
+        "load": load,
+        "utility": float(result.utility),
+        "evaluations": int(result.evaluations),
+    }
+
+
+def _run_crossval(task: Task) -> Dict[str, Any]:
+    from ..analysis import ks_distance
+    from ..maze import EmulationConfig, run_emulation
+    from ..sim import SimConfig, run_simulation
+    from ..workloads import FixedSize, poisson_trace
+
+    params = task.scenario.params_dict
+    topology = _build_topology(task)
+    trace_seed = int(params.get("trace_seed", task.seed))
+    trace = poisson_trace(
+        topology,
+        int(params.get("n_flows", 60)),
+        float(params.get("tau_ns", 150_000)),
+        sizes=FixedSize(int(params.get("flow_bytes", 1_000_000))),
+        seed=trace_seed,
+    )
+    maze = run_emulation(topology, trace, EmulationConfig(seed=trace_seed))
+    sim = run_simulation(
+        topology, trace, SimConfig(stack="r2c2", mtu_payload=8192, seed=trace_seed)
+    )
+    tput_maze = sorted(f.average_throughput_bps() / 1e9 for f in maze.completed_flows())
+    tput_sim = sorted(f.average_throughput_bps() / 1e9 for f in sim.completed_flows())
+    q_maze = sorted(b / 1000 for b in maze.max_queue_occupancy_bytes)
+    q_sim = sorted(b / 1000 for b in sim.max_queue_occupancy_bytes)
+    return {
+        "maze_completion_rate": maze.completion_rate(),
+        "sim_completion_rate": sim.completion_rate(),
+        "tput_maze_gbps": tput_maze,
+        "tput_sim_gbps": tput_sim,
+        "queue_maze_kb": q_maze,
+        "queue_sim_kb": q_sim,
+        "ks_throughput": float(ks_distance(tput_maze, tput_sim)),
+        "ks_queue": float(ks_distance(q_maze, q_sim)),
+    }
+
+
+_EXECUTORS = {
+    "probe": _run_probe,
+    "routing": _run_routing,
+    "sim": _run_sim,
+    "selection": _run_selection,
+    "crossval": _run_crossval,
+}
+
+
+def _rollup_snapshot(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """Shrink a metrics snapshot to the rollup-relevant sections."""
+    return {
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": dict(snapshot.get("gauges", {})),
+    }
+
+
+def execute_task(task: Task, attempt: int = 0) -> Dict[str, Any]:
+    """Run *task* in-process and return its JSON-able result dict.
+
+    ``fail_attempts`` in the scenario params injects a deterministic
+    worker failure on attempts ``< fail_attempts`` — the hook the retry
+    tests and the CI chaos smoke lean on.
+    """
+    fail_attempts = int(task.scenario.param("fail_attempts", 0))
+    if attempt < fail_attempts:
+        raise InjectedWorkerFailure(
+            f"injected failure for task {task.key} (attempt {attempt} "
+            f"of {fail_attempts} forced failures)"
+        )
+    executor = _EXECUTORS.get(task.scenario.kind)
+    if executor is None:
+        raise ExperimentError(f"task {task.key}: unknown kind {task.scenario.kind!r}")
+    # Note: no wallclock (or any other nondeterministic value) goes into
+    # the result — results must be byte-identical across runs and worker
+    # counts; the runner records timing in the manifest instead.
+    return executor(task)
+
+
+def execute_payload(payload: Mapping[str, Any], attempt: int = 0) -> Dict[str, Any]:
+    """Process-pool entry point: rebuild the task from its payload and run it."""
+    return execute_task(Task.from_payload(payload), attempt=attempt)

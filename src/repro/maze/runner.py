@@ -38,11 +38,22 @@ class EmulationConfig:
     n_broadcast_trees: int = 4
     initial_rate_policy: str = "mean_allocated"
     seed: int = 0
+    #: Optional substream key (see :class:`repro.sim.runner.SimConfig`):
+    #: RNGs seed from ``derive_seed(seed, *seed_parts)``; the default
+    #: keeps the exact historical stream of ``seed``.
+    seed_parts: tuple = ()
     horizon_ns: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.step_ns < 1:
             raise EmulationError("step_ns must be >= 1")
+        self.seed_parts = tuple(self.seed_parts)
+
+    def effective_seed(self) -> int:
+        """The seed the run actually uses."""
+        from ..core.seeds import derive_seed
+
+        return derive_seed(self.seed, *self.seed_parts)
 
 
 def run_emulation(
@@ -70,7 +81,8 @@ def run_emulation(
 
     metrics = SimMetrics()
     flows: Dict[int, SimFlow] = {a.flow_id: SimFlow(a) for a in trace}
-    fib = BroadcastFib(topology, n_trees=config.n_broadcast_trees, seed=config.seed)
+    seed = config.effective_seed()
+    fib = BroadcastFib(topology, n_trees=config.n_broadcast_trees, seed=seed)
     platform = MazePlatform(
         topology,
         fib=fib,
@@ -97,7 +109,7 @@ def run_emulation(
             fib,
             flows,
             mtu_payload=config.mtu_payload,
-            seed=config.seed,
+            seed=seed,
             metrics=metrics,
         )
         for node in topology.nodes()

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from ..broadcast.fib import BroadcastFib
 from ..congestion.controller import ControllerConfig, RateController
 from ..congestion.linkweights import WeightProvider
+from ..core.seeds import derive_seed
 from ..errors import SimulationError
 from ..routing.ecmp import EcmpSinglePath
 from ..topology.base import Topology
@@ -68,6 +69,12 @@ class SimConfig:
     pfq_low_packets: int = 1
     tcp_queue_limit_bytes: int = DEFAULT_TCP_QUEUE_LIMIT
     seed: int = 0
+    #: Optional substream key: the run seeds its RNGs from
+    #: ``derive_seed(seed, *seed_parts)`` (SHA-256, stable across
+    #: processes).  Campaign tasks pass their task key here so sweep cells
+    #: draw independent streams from one campaign seed; the default keeps
+    #: the exact historical behaviour of ``seed``.
+    seed_parts: tuple = ()
     horizon_ns: Optional[int] = None
     progress_chunk_ns: int = msec(1)
     #: Attach a :class:`~repro.validation.InvariantAuditor` to the run.
@@ -88,6 +95,12 @@ class SimConfig:
             raise SimulationError(
                 f"control_plane must be 'shared' or 'per_node', got {self.control_plane!r}"
             )
+        self.seed_parts = tuple(self.seed_parts)
+
+    def effective_seed(self) -> int:
+        """The seed the run actually uses (``seed`` routed through
+        :func:`repro.core.derive_seed` with ``seed_parts``)."""
+        return derive_seed(self.seed, *self.seed_parts)
 
 
 def run_simulation(
@@ -248,10 +261,11 @@ def _build_r2c2(
     from ..routing.weights import deterministic_minimal_path
     from .packets import DROP_NOTE_SIZE_BYTES, KIND_BROADCAST, KIND_DROP_NOTE, SimPacket
 
+    seed = config.effective_seed()
     fib = BroadcastFib(
         topology,
         n_trees=config.n_broadcast_trees,
-        seed=config.seed,
+        seed=seed,
         telemetry=telemetry,
     )
     network_holder = {}
@@ -286,7 +300,7 @@ def _build_r2c2(
         ),
         on_drop=on_drop,
         loss_rate=config.loss_rate,
-        loss_seed=config.seed,
+        loss_seed=seed,
         auditor=auditor,
     )
     network_holder["net"] = network
@@ -311,7 +325,7 @@ def _build_r2c2(
         control = SharedControlPlane(loop, network, controller)
     common = dict(
         mtu_payload=config.mtu_payload,
-        seed=config.seed,
+        seed=seed,
         n_trees=config.n_broadcast_trees,
         metrics=metrics,
         telemetry=telemetry,
@@ -336,7 +350,7 @@ def _build_tcp(topology, loop, flows, metrics, config, auditor=None):
         topology,
         queue_factory=lambda: FifoQueue(limit_bytes=limit),
         loss_rate=config.loss_rate,
-        loss_seed=config.seed,
+        loss_seed=config.effective_seed(),
         auditor=auditor,
     )
     ecmp = EcmpSinglePath(topology)
@@ -376,7 +390,7 @@ def _build_pfq(topology, loop, flows, metrics, config, auditor=None):
             flows,
             protocol,
             mtu_payload=config.mtu_payload,
-            seed=config.seed,
+            seed=config.effective_seed(),
             metrics=metrics,
         )
     return network

@@ -41,6 +41,7 @@ from .registry import (
     MetricsRegistry,
     NullRegistry,
     TimeSeries,
+    merge_snapshots,
 )
 from .trace import (
     NULL_TRACE,
@@ -62,6 +63,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LinkProbeSet",
+    "merge_snapshots",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_TRACE",

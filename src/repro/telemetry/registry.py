@@ -355,3 +355,55 @@ class NullRegistry:
 
 
 NULL_REGISTRY = NullRegistry()
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Roll up metrics snapshots from many runs/workers into one.
+
+    The campaign runner aggregates per-task snapshots into a per-campaign
+    manifest with this.  Semantics per section:
+
+    * ``counters`` and ``gauges`` — summed (both record per-run totals
+      here: events processed, bytes on wire, flows completed — the rollup
+      of totals is their sum);
+    * ``histograms`` — bucket counts, ``count`` and ``sum`` added; ``min``
+      / ``max`` folded, provided the bucket bounds agree (mismatched
+      bounds keep the first seen, counted under ``_dropped``);
+    * ``series`` — dropped (per-run time axes are not comparable).
+    """
+    merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    dropped = 0
+    for snap in snapshots:
+        for section in ("counters", "gauges"):
+            for name, value in snap.get(section, {}).items():
+                merged[section][name] = merged[section].get(name, 0) + value
+        for name, hist in snap.get("histograms", {}).items():
+            if not hist:
+                continue
+            slot = merged["histograms"].get(name)
+            if slot is None:
+                merged["histograms"][name] = {
+                    "buckets": list(hist.get("buckets", [])),
+                    "counts": list(hist.get("counts", [])),
+                    "count": hist.get("count", 0),
+                    "sum": hist.get("sum", 0),
+                    "min": hist.get("min"),
+                    "max": hist.get("max"),
+                }
+                continue
+            if slot["buckets"] != list(hist.get("buckets", [])):
+                dropped += 1
+                continue
+            slot["counts"] = [
+                a + b for a, b in zip(slot["counts"], hist.get("counts", []))
+            ]
+            slot["count"] += hist.get("count", 0)
+            slot["sum"] += hist.get("sum", 0)
+            for bound, pick in (("min", min), ("max", max)):
+                theirs = hist.get(bound)
+                if theirs is None:
+                    continue
+                slot[bound] = theirs if slot[bound] is None else pick(slot[bound], theirs)
+    if dropped:
+        merged["_dropped"] = dropped
+    return merged

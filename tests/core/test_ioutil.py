@@ -1,0 +1,72 @@
+"""Atomic-write helpers: write → fsync → rename semantics."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import atomic_write_bytes, atomic_write_json, atomic_write_text
+
+
+def test_writes_bytes(tmp_path):
+    path = tmp_path / "out.bin"
+    atomic_write_bytes(path, b"\x00\x01payload")
+    assert path.read_bytes() == b"\x00\x01payload"
+
+
+def test_overwrites_existing(tmp_path):
+    path = tmp_path / "out.txt"
+    path.write_text("old")
+    atomic_write_text(path, "new")
+    assert path.read_text() == "new"
+
+
+def test_creates_parent_directories(tmp_path):
+    path = tmp_path / "a" / "b" / "c.txt"
+    atomic_write_text(path, "deep")
+    assert path.read_text() == "deep"
+
+
+def test_no_temporary_leftovers(tmp_path):
+    path = tmp_path / "out.txt"
+    for i in range(5):
+        atomic_write_text(path, f"generation {i}")
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_failure_leaves_original_intact(tmp_path):
+    path = tmp_path / "out.json"
+    atomic_write_json(path, {"ok": 1})
+    before = path.read_bytes()
+
+    class Unserializable:
+        pass
+
+    with pytest.raises(TypeError):
+        atomic_write_json(path, {"bad": Unserializable()})
+    assert path.read_bytes() == before
+    assert os.listdir(tmp_path) == ["out.json"]
+
+
+def test_midwrite_failure_cleans_temp_and_keeps_original(tmp_path, monkeypatch):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "original")
+
+    def broken_replace(src, dst):
+        raise OSError("simulated rename failure")
+
+    monkeypatch.setattr(os, "replace", broken_replace)
+    with pytest.raises(OSError, match="simulated rename failure"):
+        atomic_write_text(path, "replacement")
+    monkeypatch.undo()
+    assert path.read_text() == "original"
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_json_sorted_and_stable(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    atomic_write_json(a, {"z": 1, "a": [2, 3]})
+    atomic_write_json(b, {"a": [2, 3], "z": 1})
+    assert a.read_bytes() == b.read_bytes()
+    assert json.loads(a.read_text()) == {"a": [2, 3], "z": 1}
+    assert a.read_text().endswith("\n")

@@ -1,0 +1,65 @@
+"""derive_seed: deterministic, 64-bit, process-stable substream derivation."""
+
+import subprocess
+import sys
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import SEED_MASK, derive_seed
+
+key_parts = st.lists(
+    st.one_of(
+        st.integers(min_value=-(2**63), max_value=2**63),
+        st.text(max_size=20),
+        st.floats(allow_nan=False),
+        st.booleans(),
+        st.none(),
+    ),
+    max_size=4,
+)
+
+
+def test_no_parts_is_identity():
+    # Existing call sites seed random.Random(seed) directly; routing them
+    # through derive_seed must keep their exact historical streams.
+    for seed in (0, 7, 18, 2**63, -3):
+        assert derive_seed(seed) == seed
+
+
+@given(st.integers(min_value=0, max_value=2**64), key_parts)
+def test_deterministic_and_64bit(root, parts):
+    a = derive_seed(root, *parts)
+    b = derive_seed(root, *parts)
+    assert a == b
+    if parts:
+        assert 0 <= a <= SEED_MASK
+
+
+@given(st.integers(min_value=0, max_value=2**32))
+def test_distinct_across_parts_and_order(root):
+    assert derive_seed(root, "a", "b") != derive_seed(root, "b", "a")
+    assert derive_seed(root, "a") != derive_seed(root, "b")
+    assert derive_seed(root, "a") != derive_seed(root + 1, "a")
+
+
+def test_structured_parts_are_order_insensitive_for_mappings():
+    assert derive_seed(1, {"x": 1, "y": 2}) == derive_seed(1, {"y": 2, "x": 1})
+
+
+def test_known_vector_stable_across_processes():
+    """The same derivation in a fresh interpreter yields the same seed
+    (unlike hash(), which is salted per process)."""
+    expected = derive_seed(7, "fig02", "rps/uniform", 0)
+    code = (
+        "from repro.core import derive_seed;"
+        "print(derive_seed(7, 'fig02', 'rps/uniform', 0))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": ":".join(sys.path), "PYTHONHASHSEED": "random"},
+    )
+    assert int(out.stdout.strip()) == expected

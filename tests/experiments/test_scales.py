@@ -1,0 +1,74 @@
+"""The REPRO_SCALE parameter tables (satellite of the campaign runner)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import SCALE_ENV_VAR, SCALES, current_scale
+
+pytestmark = pytest.mark.experiments
+
+
+def test_all_three_scales_present():
+    assert sorted(SCALES) == ["medium", "paper", "small"]
+
+
+@pytest.mark.parametrize(
+    "name, dims, n_flows, tau_default, crossval",
+    [
+        ("small", (4, 4, 4), 600, 2_000, 60),
+        ("medium", (6, 6, 6), 1_500, 1_000, 150),
+        ("paper", (8, 8, 8), 4_000, 1_000, 1_000),
+    ],
+)
+def test_scale_parameter_tables(name, dims, n_flows, tau_default, crossval):
+    scale = SCALES[name]
+    assert scale.name == name
+    assert scale.torus_dims == dims
+    assert scale.n_flows == n_flows
+    assert scale.tau_default_ns == tau_default
+    assert scale.crossval_flows == crossval
+    assert scale.n_nodes == dims[0] * dims[1] * dims[2]
+    assert len(scale.tau_sweep_ns) >= 3
+    assert all(0 < load <= 1.0 for load in scale.fig18_loads)
+
+
+def test_paper_scale_matches_the_paper():
+    # §5.2: 512-node 3D torus, and Figure 18 sweeps load 0.1..1.0.
+    assert SCALES["paper"].n_nodes == 512
+    assert len(SCALES["paper"].fig18_loads) == 10
+
+
+def test_current_scale_default_and_env(monkeypatch):
+    monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+    assert current_scale().name == "small"
+    monkeypatch.setenv(SCALE_ENV_VAR, "medium")
+    assert current_scale().name == "medium"
+    assert current_scale("paper").name == "paper"  # explicit beats env
+
+
+def test_invalid_scale_is_a_clear_error(monkeypatch):
+    with pytest.raises(ExperimentError, match="tiny"):
+        current_scale("tiny")
+    monkeypatch.setenv(SCALE_ENV_VAR, "huge")
+    with pytest.raises(ExperimentError, match=SCALE_ENV_VAR):
+        current_scale()
+
+
+def test_benchmarks_conftest_validates_env(monkeypatch):
+    """benchmarks/conftest.py turns a bad REPRO_SCALE into a pytest usage
+    error at configure time instead of a per-module collection traceback."""
+    import importlib.util
+    import pathlib
+
+    conftest_path = (
+        pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "conftest.py"
+    )
+    spec = importlib.util.spec_from_file_location("bench_conftest", conftest_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    monkeypatch.setenv(SCALE_ENV_VAR, "bogus")
+    with pytest.raises(pytest.UsageError, match="bogus"):
+        module.pytest_configure(config=None)
+    monkeypatch.setenv(SCALE_ENV_VAR, "small")
+    module.pytest_configure(config=None)  # valid name passes

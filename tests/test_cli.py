@@ -66,3 +66,71 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "[ok]" in out
         assert "FAIL" not in out
+
+
+@pytest.mark.experiments
+class TestSweep:
+    def test_list_figures(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig02", "fig07", "fig10_14", "fig17", "fig18"):
+            assert name in out
+
+    def test_missing_figure_is_an_error(self, capsys):
+        assert main(["sweep"]) == 2
+
+    def test_unknown_figure_is_an_error(self):
+        assert main(["sweep", "fig99"]) == 2
+
+    def test_dry_run_lists_tasks(self, capsys):
+        assert main(["sweep", "fig02", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "24 task(s)" in out
+        assert "rps/uniform/r0" in out
+        assert "wlb/worst-case/r0" in out
+
+    def test_only_filter_and_cache_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["sweep", "fig02", "--only", "rps/uniform", "--cache-dir", cache]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "1 task(s)" in first and "complete" in first
+        # Second run is fully cache-satisfied.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "1 cached" in second and "0 computed" in second
+
+    def test_interrupt_then_resume(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        base = ["sweep", "fig02", "--only", "uniform", "--cache-dir", cache]
+        assert main(base + ["--max-tasks", "2"]) == 3
+        out = capsys.readouterr().out
+        assert "interrupted" in out
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out and "2 cached" in out
+
+    def test_fail_task_injection_retries(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(
+            [
+                "sweep", "fig02", "--only", "rps/uniform",
+                "--cache-dir", cache,
+                "--fail-task", "rps/uniform/r0:1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 retrie(s)" in out
+
+    def test_figures_writes_tables(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        assert main(
+            [
+                "figures", "fig02",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--results-dir", str(results),
+            ]
+        ) == 0
+        table = (results / "fig02_routing_table.txt").read_text()
+        assert table.startswith("\n===== fig02_routing_table [scale=small] =====")
+        assert "| paper:" in table
