@@ -115,24 +115,55 @@ def cmd_simulate(args) -> int:
         sizes=ParetoSizes(mean_bytes=args.mean_bytes, shape=1.05, cap_bytes=20_000_000),
         seed=args.seed,
     )
-    config = SimConfig(stack=args.stack, reliable=args.reliable, seed=args.seed)
-    telemetry = None
-    if args.trace_out or args.metrics_out:
-        from .telemetry import Telemetry, TelemetryConfig
+    config = SimConfig(
+        stack=args.stack,
+        control_plane=args.control_plane,
+        reliable=args.reliable,
+        seed=args.seed,
+    )
 
-        telemetry = Telemetry(
-            TelemetryConfig(
-                metrics=args.metrics_out is not None,
-                trace=args.trace_out is not None,
+    def execute():
+        if args.shards > 1:
+            from .distsim import run_sharded_simulation
+            from .telemetry import TelemetryConfig
+
+            telemetry_config = None
+            if args.metrics_out is not None or args.trace_out is not None:
+                # A trace request reaches validate_sharded_config, which
+                # explains why sharded runs are metrics-only.
+                telemetry_config = TelemetryConfig(
+                    metrics=args.metrics_out is not None,
+                    trace=args.trace_out is not None,
+                )
+            result = run_sharded_simulation(
+                topo,
+                trace,
+                config,
+                shards=args.shards,
+                executor=args.shard_executor,
+                telemetry_config=telemetry_config,
             )
-        )
+            return result.metrics, result.telemetry_snapshot, result
+        telemetry = None
+        if args.trace_out or args.metrics_out:
+            from .telemetry import Telemetry, TelemetryConfig
+
+            telemetry = Telemetry(
+                TelemetryConfig(
+                    metrics=args.metrics_out is not None,
+                    trace=args.trace_out is not None,
+                )
+            )
+        metrics = run_simulation(topo, trace, config, telemetry=telemetry)
+        return metrics, telemetry, None
+
     if args.profile is not None:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        metrics = run_simulation(topo, trace, config, telemetry=telemetry)
+        metrics, telemetry, sharded = execute()
         profiler.disable()
         if args.profile == "-":
             pstats.Stats(profiler).sort_stats("cumulative").print_stats(30)
@@ -141,13 +172,29 @@ def cmd_simulate(args) -> int:
             print(f"profile written to {args.profile} "
                   f"(inspect with: python -m pstats {args.profile})")
     else:
-        metrics = run_simulation(topo, trace, config, telemetry=telemetry)
+        metrics, telemetry, sharded = execute()
     print(f"stack={args.stack} on {topo.name}: "
           f"{len(trace)} flows, {metrics.duration_ns / 1e6:.2f} ms simulated, "
           f"{metrics.wallclock_s:.1f} s wall")
+    if sharded is not None:
+        print(f"  sharded: K={sharded.shards} ({sharded.executor}), "
+              f"sizes {'/'.join(str(s) for s in sharded.shard_sizes)}, "
+              f"{sharded.cut_links} cut links, "
+              f"lookahead {sharded.lookahead_ns} ns, "
+              f"{sharded.rounds} rounds, "
+              f"{sharded.boundary_messages} boundary messages")
     for key, value in metrics.summary().items():
         print(f"  {key:20s} {value:,.2f}")
-    if telemetry is not None:
+    if sharded is not None:
+        if args.metrics_out:
+            import json
+
+            with open(args.metrics_out, "w") as fh:
+                json.dump(sharded.telemetry_snapshot, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"merged metrics snapshot written to {args.metrics_out} "
+                  f"(pretty-print with: repro report {args.metrics_out})")
+    elif telemetry is not None:
         if args.trace_out:
             telemetry.save_trace(args.trace_out)
             print(f"trace written to {args.trace_out} "
@@ -422,6 +469,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--mean-bytes", type=int, default=100 * 1024)
     p_sim.add_argument("--reliable", action="store_true")
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--control-plane", choices=("shared", "per_node"),
+                       default="shared",
+                       help="r2c2 rate-control placement; sharded r2c2 runs "
+                            "require per_node")
+    p_sim.add_argument("--shards", type=int, default=1,
+                       help="split the simulation across N event loops "
+                            "(repro.distsim); results are byte-identical "
+                            "to a serial run")
+    p_sim.add_argument("--shard-executor", choices=("virtual", "process"),
+                       default="process",
+                       help="sharded back end: in-process loops (virtual) "
+                            "or one worker process per shard (process)")
     p_sim.add_argument("--profile", nargs="?", const="-", default=None,
                        metavar="FILE",
                        help="profile the run with cProfile; dump stats to "

@@ -1,0 +1,54 @@
+"""Sharded parallel discrete-event simulation (conservative protocol).
+
+Splits one simulation across K event loops — one per topology shard — and
+exchanges cross-shard packets as timestamped messages under a conservative
+synchronization protocol whose lookahead is the minimum cut-link latency.
+The defining property is *byte-identity*: for any supported configuration,
+a K-shard run produces exactly the serial engine's metrics, flow states
+and (merged) telemetry counters for the same seeds — parallelism is an
+executor choice, never a semantics choice.
+
+Public surface:
+
+* :func:`run_sharded_simulation` — the sharded counterpart of
+  :func:`repro.sim.runner.run_simulation`; returns a
+  :class:`DistSimResult`.
+* :class:`VirtualShardExecutor` / :class:`ProcessShardExecutor` — the two
+  back ends behind one interface (in-process for tests/oracles/debugging,
+  ``multiprocessing`` pipes for actual parallelism).
+* :func:`canonical_metrics` / :func:`comparable_snapshot` — the precise
+  equality surface the sharded-vs-serial differential oracle asserts.
+* :func:`validate_sharded_config` — which configurations shard (and why
+  the rest refuse).
+
+Topology cuts live in :mod:`repro.topology.partition`; see DESIGN.md §6d
+for the protocol, the lookahead derivation and the determinism argument.
+"""
+
+from .coordinator import (
+    DistSimResult,
+    run_sharded_simulation,
+    validate_sharded_config,
+)
+from .executors import (
+    EXECUTORS,
+    ProcessShardExecutor,
+    VirtualShardExecutor,
+    make_executor,
+)
+from .merge import canonical_flow, canonical_metrics, comparable_snapshot
+from .shard import ShardSim
+
+__all__ = [
+    "DistSimResult",
+    "EXECUTORS",
+    "ProcessShardExecutor",
+    "ShardSim",
+    "VirtualShardExecutor",
+    "canonical_flow",
+    "canonical_metrics",
+    "comparable_snapshot",
+    "make_executor",
+    "run_sharded_simulation",
+    "validate_sharded_config",
+]

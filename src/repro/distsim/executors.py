@@ -1,0 +1,181 @@
+"""Shard executors: in-process (virtual) and multiprocessing back ends.
+
+Both implement one interface the coordinator drives:
+
+* ``start(...)`` — build the K shards, return their initial next-event
+  times;
+* ``run_round(end_ns, messages_by_shard, at_grid)`` — run one conservative
+  window on every shard, return the per-shard round reports;
+* ``finalize(duration_ns)`` — collect the per-shard result dicts;
+* ``close()`` — tear down.
+
+:class:`VirtualShardExecutor` runs every :class:`~repro.distsim.shard.
+ShardSim` in the calling process — fully deterministic, debuggable with a
+plain debugger, and what the tests and differential oracles use.
+:class:`ProcessShardExecutor` runs one worker process per shard over
+``multiprocessing`` pipes for actual parallelism; the protocol (and
+therefore the simulated outcome) is identical, only the transport differs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from .shard import ShardSim, shard_worker
+
+
+class VirtualShardExecutor:
+    """All shards in the calling process, stepped round-robin."""
+
+    name = "virtual"
+
+    def __init__(self) -> None:
+        self._shards: List[ShardSim] = []
+
+    def start(self, topology, trace, config, partition, telemetry_config) -> List[Optional[int]]:
+        self._shards = [
+            ShardSim(
+                topology,
+                trace,
+                config,
+                shard_id,
+                partition.nodes_of(shard_id),
+                telemetry_config,
+            )
+            for shard_id in range(partition.k)
+        ]
+        return [shard.next_event_time() for shard in self._shards]
+
+    def run_round(
+        self,
+        end_ns: int,
+        messages_by_shard: Sequence[Sequence[Tuple[int, int, int, object]]],
+        at_grid: bool,
+    ) -> List[tuple]:
+        return [
+            shard.run_round(end_ns, messages_by_shard[shard.shard_id], at_grid)
+            for shard in self._shards
+        ]
+
+    def finalize(self, duration_ns: int) -> List[dict]:
+        return [shard.finalize(duration_ns) for shard in self._shards]
+
+    def close(self) -> None:
+        self._shards = []
+
+
+class ProcessShardExecutor:
+    """One worker process per shard, commanded over duplex pipes.
+
+    Rounds are dispatched to every worker before any reply is awaited, so
+    shards genuinely execute their windows concurrently; the coordinator's
+    barrier is the reply collection.  ``fork`` is preferred (the workers
+    inherit the topology/trace without pickling them); where unavailable
+    the spawn context works too since every shipped object pickles.
+    """
+
+    name = "process"
+
+    def __init__(self, mp_context: Optional[str] = None) -> None:
+        if mp_context is None:
+            mp_context = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._workers: List[multiprocessing.Process] = []
+        self._pipes: List = []
+
+    def start(self, topology, trace, config, partition, telemetry_config) -> List[Optional[int]]:
+        initial: List[Optional[int]] = []
+        for shard_id in range(partition.k):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            worker = self._ctx.Process(
+                target=shard_worker,
+                args=(
+                    child_conn,
+                    topology,
+                    trace,
+                    config,
+                    shard_id,
+                    partition.nodes_of(shard_id),
+                    telemetry_config,
+                ),
+                daemon=True,
+            )
+            worker.start()
+            child_conn.close()
+            self._workers.append(worker)
+            self._pipes.append(parent_conn)
+        for shard_id, conn in enumerate(self._pipes):
+            initial.append(self._expect(conn, shard_id, "ready"))
+        return initial
+
+    def run_round(
+        self,
+        end_ns: int,
+        messages_by_shard: Sequence[Sequence[Tuple[int, int, int, object]]],
+        at_grid: bool,
+    ) -> List[tuple]:
+        for shard_id, conn in enumerate(self._pipes):
+            conn.send(("round", end_ns, list(messages_by_shard[shard_id]), at_grid))
+        return [
+            self._expect(conn, shard_id, "ok")
+            for shard_id, conn in enumerate(self._pipes)
+        ]
+
+    def finalize(self, duration_ns: int) -> List[dict]:
+        for conn in self._pipes:
+            conn.send(("finalize", duration_ns))
+        return [
+            self._expect(conn, shard_id, "ok")
+            for shard_id, conn in enumerate(self._pipes)
+        ]
+
+    def close(self) -> None:
+        for conn in self._pipes:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for worker in self._workers:
+            worker.join(timeout=10)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+                worker.join(timeout=5)
+        self._workers = []
+        self._pipes = []
+
+    def _expect(self, conn, shard_id: int, want: str):
+        try:
+            tag, payload = conn.recv()
+        except EOFError as exc:
+            raise SimulationError(f"shard {shard_id} worker died") from exc
+        if tag == "error":
+            raise SimulationError(f"shard {shard_id} failed: {payload}")
+        if tag != want:  # pragma: no cover - protocol guard
+            raise SimulationError(
+                f"shard {shard_id} replied {tag!r}, expected {want!r}"
+            )
+        return payload
+
+
+#: Executor registry for CLI/experiments string knobs.
+EXECUTORS = {
+    "virtual": VirtualShardExecutor,
+    "process": ProcessShardExecutor,
+}
+
+
+def make_executor(name: str):
+    """Instantiate an executor by name (``"virtual"`` or ``"process"``)."""
+    try:
+        return EXECUTORS[name]()
+    except KeyError:
+        raise SimulationError(
+            f"unknown shard executor {name!r}; choose from {sorted(EXECUTORS)}"
+        ) from None

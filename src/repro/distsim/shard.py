@@ -1,0 +1,286 @@
+"""One shard of a sharded simulation: build, windowed execution, results.
+
+A :class:`ShardSim` is the serial engine restricted to one shard's nodes:
+the same build sequence as :func:`repro.sim.runner.run_simulation` (stacks,
+control plane, FIB, arrival scheduling — in the same order, so event-loop
+sequence numbers assign identically), except that
+
+* only ports/stacks/controllers of *owned* nodes exist,
+* cut ports hand finished packets to the boundary outbox instead of
+  scheduling local propagation (see ``RackNetwork(owned_nodes=...)``), and
+* the event loop advances in externally granted windows
+  (:meth:`run_round`) instead of free-running.
+
+The coordinator (:mod:`repro.distsim.coordinator`) owns all global
+decisions — window sizing, message routing, termination, merging — so this
+class stays executor-agnostic: the in-process executor calls it directly
+and the multiprocessing executor drives the identical object over a pipe
+(:func:`shard_worker`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..sim.engine import EventLoop
+from ..sim.flows import SimFlow
+from ..sim.metrics import SimMetrics
+from ..sim.network import link_prio
+from ..sim.runner import SimConfig, _build_r2c2, _build_tcp
+from ..topology.base import Topology
+from ..workloads.generator import FlowArrival
+from .merge import receiver_state, sender_state
+
+#: A cross-shard packet hand-off: emitted when a cut port finishes
+#: serializing.  ``emit_ns`` is the transmission-finish time (the instant
+#: the serial engine would have scheduled the propagation event) and
+#: ``emit_idx`` preserves same-instant emission order within the shard —
+#: together a deterministic routing order for the coordinator.  ``src`` is
+#: the cut link's sending node: the receiving shard schedules the arrival
+#: with that link's delivery priority (:func:`repro.sim.network.link_prio`),
+#: which is how an injected event sorts against the destination's
+#: same-instant local events exactly as the serial engine's propagation
+#: event would.  Layout: (arrival_ns, emit_ns, emit_idx, src, dst, packet).
+BoundaryMessage = Tuple[int, int, int, int, int, object]
+
+
+class ShardSim:
+    """One shard's event loop, network slice and stacks."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        trace: Sequence[FlowArrival],
+        config: SimConfig,
+        shard_id: int,
+        owned_nodes: Sequence[int],
+        telemetry_config=None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.owned = frozenset(owned_nodes)
+        self._n_nodes = topology.n_nodes
+        self.loop = EventLoop()
+        self.metrics = SimMetrics()
+        self.flows: Dict[int, SimFlow] = {a.flow_id: SimFlow(a) for a in trace}
+        self._trace = trace
+        self._outbox: List[BoundaryMessage] = []
+        self._recv_flows = [
+            self.flows[a.flow_id] for a in trace if a.dst in self.owned
+        ]
+
+        self.telemetry = None
+        if telemetry_config is not None and telemetry_config.metrics:
+            # Shards record metrics only.  Traces are per-process event
+            # streams with no exact merge; the coordinator rejects trace
+            # requests up front.  Per-link series are likewise unmergeable
+            # (merge_snapshots drops series), so shards skip them.
+            from ..telemetry import Telemetry, TelemetryConfig
+
+            self.telemetry = Telemetry(
+                TelemetryConfig(
+                    metrics=True,
+                    trace=False,
+                    link_probe_interval_ns=telemetry_config.link_probe_interval_ns,
+                    per_link_series=False,
+                    packet_sample_every=telemetry_config.packet_sample_every,
+                )
+            )
+
+        owned_sorted = sorted(self.owned)
+        if config.stack == "r2c2":
+            self.network, self.control = _build_r2c2(
+                topology,
+                self.loop,
+                self.flows,
+                self.metrics,
+                config,
+                provider=None,
+                auditor=None,
+                telemetry=self.telemetry,
+                owned_nodes=owned_sorted,
+                boundary=self._boundary,
+                # Every shard builds an identical FIB; only shard 0 records
+                # its (build-time) instruments so the merged registry counts
+                # them once, like a serial run.
+                fib_telemetry=(shard_id == 0),
+            )
+        elif config.stack == "tcp":
+            self.network = _build_tcp(
+                topology,
+                self.loop,
+                self.flows,
+                self.metrics,
+                config,
+                auditor=None,
+                owned_nodes=owned_sorted,
+                boundary=self._boundary,
+            )
+            self.control = None
+        else:
+            raise SimulationError(
+                f"stack {config.stack!r} does not support sharded execution"
+            )
+
+        self.probes = None
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.probes = self.telemetry.link_probes(self.network)
+
+        # Arrival scheduling mirrors the serial runner: after the build, in
+        # trace order, restricted to flows this shard sends.
+        for arrival in trace:
+            if arrival.src in self.owned:
+                flow = self.flows[arrival.flow_id]
+                self.loop.schedule_at(
+                    arrival.start_ns,
+                    lambda f=flow: self.network.stack_at[f.src].start_flow(f),
+                )
+
+    # ------------------------------------------------------------------
+    def _boundary(self, arrival_ns: int, src: int, dst: int, packet) -> None:
+        """Cut-port hand-off: record a timestamped cross-shard message."""
+        self._outbox.append(
+            (arrival_ns, self.loop.now, len(self._outbox), src, dst, packet)
+        )
+
+    def next_event_time(self) -> Optional[int]:
+        """Earliest pending local event (lower bound on future emissions)."""
+        return self.loop.next_event_time()
+
+    def run_round(
+        self,
+        end_ns: int,
+        messages: Sequence[Tuple[int, int, int, object]],
+        at_grid: bool,
+    ) -> Tuple[List[BoundaryMessage], Optional[int], Optional[int]]:
+        """Inject *messages*, run the granted window, report back.
+
+        Args:
+            end_ns: Window edge; every local event with timestamp
+                ``<= end_ns`` executes and the clock parks at ``end_ns``.
+            messages: Cross-shard arrivals ``(arrival_ns, src, dst,
+                packet)`` in the coordinator's canonical order; each is
+                scheduled before the window runs (all arrivals are provably
+                in the future — the conservative protocol guarantees it)
+                with its cut link's delivery priority.
+            at_grid: True when ``end_ns`` is a progress-grid boundary, where
+                the serial engine samples link probes and checks
+                termination; the shard mirrors the probe sample and reports
+                its completed-flow count.
+
+        Returns:
+            ``(outbox, next_event_time, completed)`` — boundary messages
+            emitted during the window, the earliest still-pending local
+            event (``None`` if drained), and the number of owned completed
+            flows (``None`` unless *at_grid*).
+        """
+        arrived = self.network.arrived
+        schedule_at = self.loop.schedule_at
+        n_nodes = self._n_nodes
+        for arrival_ns, src, dst, packet in messages:
+            schedule_at(
+                arrival_ns,
+                lambda d=dst, p=packet: arrived(d, p),
+                link_prio(src, dst, n_nodes),
+            )
+        self.loop.run_window(end_ns)
+        if at_grid and self.probes is not None:
+            self.probes.maybe_sample(self.loop.now)
+        outbox = self._outbox
+        self._outbox = []
+        completed = None
+        if at_grid:
+            completed = sum(1 for f in self._recv_flows if f.completed_ns is not None)
+        return outbox, self.loop.next_event_time(), completed
+
+    def finalize(self, duration_ns: int) -> dict:
+        """Collect this shard's contribution to the merged results."""
+        if self.loop.now != duration_ns:
+            raise SimulationError(
+                f"shard {self.shard_id} clock at {self.loop.now} ns, "
+                f"expected {duration_ns} ns"
+            )
+        if self.probes is not None:
+            # The serial runner takes one unconditional final sample.
+            self.probes.sample(self.loop.now)
+        owned = self.owned
+        ports = {
+            (port.src, port.dst): (
+                port.bytes_sent,
+                port.max_occupancy_bytes,
+                port.drops,
+                port.wire_losses,
+            )
+            for port in self.network.ports()
+        }
+        recompute: Dict[int, list] = {}
+        if self.control is not None:
+            recompute = self.control.recompute_stats_by_node()
+        reservoir = self.metrics.packet_latency
+        return {
+            "shard_id": self.shard_id,
+            "senders": {
+                a.flow_id: sender_state(self.flows[a.flow_id])
+                for a in self._trace
+                if a.src in owned
+            },
+            "receivers": {
+                a.flow_id: receiver_state(self.flows[a.flow_id])
+                for a in self._trace
+                if a.dst in owned
+            },
+            "ports": ports,
+            "broadcast_bytes": self.metrics.broadcast_bytes,
+            "broadcast_packets": self.metrics.broadcast_packets,
+            "ack_bytes": self.metrics.ack_bytes,
+            "events_processed": self.loop.events_processed,
+            "latency": {
+                "count": reservoir.count,
+                "total_ns": reservoir.total_ns,
+                "max_ns": reservoir.max_ns,
+                "samples": list(reservoir._samples),
+            },
+            "recompute": recompute,
+            "telemetry": (
+                self.telemetry.metrics.snapshot()
+                if self.telemetry is not None and self.telemetry.enabled
+                else None
+            ),
+        }
+
+
+def shard_worker(conn, topology, trace, config, shard_id, owned_nodes, telemetry_config):
+    """Child-process entry point for :class:`ProcessShardExecutor`.
+
+    A tiny command loop over a duplex pipe: ``("round", end_ns, messages,
+    at_grid)`` → round report, ``("finalize", duration_ns)`` → result dict,
+    ``("stop",)`` → exit.  Any exception is shipped back as ``("error",
+    repr)`` so the coordinator can fail loudly instead of deadlocking.
+    """
+    try:
+        shard = ShardSim(
+            topology, trace, config, shard_id, owned_nodes, telemetry_config
+        )
+        conn.send(("ready", shard.next_event_time()))
+        while True:
+            command = conn.recv()
+            tag = command[0]
+            if tag == "round":
+                _, end_ns, messages, at_grid = command
+                conn.send(("ok", shard.run_round(end_ns, messages, at_grid)))
+            elif tag == "finalize":
+                conn.send(("ok", shard.finalize(command[1])))
+            elif tag == "stop":
+                return
+            else:  # pragma: no cover - protocol guard
+                conn.send(("error", f"unknown command {tag!r}"))
+                return
+    except EOFError:  # pragma: no cover - parent died
+        return
+    except Exception as exc:  # noqa: BLE001 - relayed to the coordinator
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()

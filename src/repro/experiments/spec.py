@@ -26,11 +26,23 @@ from ..errors import ExperimentError
 __all__ = ["CACHE_SCHEMA_VERSION", "Scenario", "Campaign", "Task"]
 
 #: Bumped whenever task semantics change in a way that invalidates cached
-#: results (it participates in every task fingerprint).
-CACHE_SCHEMA_VERSION = 1
+#: results (it participates in every task fingerprint).  Version 2: the
+#: event loop gained deterministic content-based tie-breaking for
+#: same-instant packet deliveries (the invariant behind sharded execution),
+#: which perturbs simulation results for the same seeds; sim-task telemetry
+#: rollups also dropped the executor-dependent gauges.
+CACHE_SCHEMA_VERSION = 2
 
 #: Task kinds the executor knows how to run (see :mod:`.tasks`).
 TASK_KINDS = ("probe", "routing", "sim", "selection", "crossval")
+
+#: Scenario fields that choose *how* a result is computed, never *what* it
+#: is — excluded from fingerprints so flipping them neither invalidates nor
+#: forks cached results (the same precedent as :class:`.runner.
+#: ExecutorConfig` living outside the scenario entirely).  ``shards`` can
+#: sit here because sharded simulation is byte-identical to serial by
+#: construction — and refuses configurations where it could not be.
+EXECUTOR_POLICY_FIELDS = ("shards",)
 
 
 def _freeze_params(params: Any) -> Tuple[Tuple[str, Any], ...]:
@@ -81,6 +93,10 @@ class Scenario:
     capacity_bps: Optional[float] = None
     params: Tuple[Tuple[str, Any], ...] = ()
     replicates: int = 1
+    #: Executor policy for ``sim`` tasks: split the simulation across this
+    #: many shards (:mod:`repro.distsim`).  1 means the serial engine.
+    #: Outside the fingerprint — results are byte-identical either way.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in TASK_KINDS:
@@ -91,6 +107,10 @@ class Scenario:
         if self.replicates < 1:
             raise ExperimentError(
                 f"scenario {self.name!r}: replicates must be >= 1"
+            )
+        if self.shards < 1:
+            raise ExperimentError(
+                f"scenario {self.name!r}: shards must be >= 1"
             )
         object.__setattr__(self, "dims", tuple(int(d) for d in self.dims))
         object.__setattr__(self, "params", _freeze_params(self.params))
@@ -120,7 +140,18 @@ class Scenario:
             "capacity_bps": self.capacity_bps,
             "params": {k: _jsonable(v) for k, v in self.params},
             "replicates": self.replicates,
+            "shards": self.shards,
         }
+
+    def content_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` minus executor-policy fields — the fingerprint
+        surface.  A scenario run with 4 shards produces (provably, and
+        oracle-checked) the same bytes as a serial run, so cached results
+        stay valid when only the execution strategy changes."""
+        data = self.to_dict()
+        for policy_field in EXECUTOR_POLICY_FIELDS:
+            data.pop(policy_field, None)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
@@ -133,6 +164,7 @@ class Scenario:
                 capacity_bps=data.get("capacity_bps"),
                 params=data.get("params", {}),
                 replicates=int(data.get("replicates", 1)),
+                shards=int(data.get("shards", 1)),
             )
         except KeyError as exc:
             raise ExperimentError(f"scenario spec missing field {exc}") from None
@@ -145,8 +177,9 @@ class Scenario:
         return cls.from_dict(json.loads(text))
 
     def fingerprint(self) -> str:
-        """Content hash of everything that affects this scenario's results."""
-        return _fingerprint(self.to_dict())
+        """Content hash of everything that affects this scenario's *results*
+        (executor-policy fields like ``shards`` are excluded)."""
+        return _fingerprint(self.content_dict())
 
 
 @dataclass(frozen=True)
@@ -164,7 +197,7 @@ class Task:
         return _fingerprint(
             {
                 "schema": CACHE_SCHEMA_VERSION,
-                "scenario": self.scenario.to_dict(),
+                "scenario": self.scenario.content_dict(),
                 "replicate": self.replicate,
                 "seed": self.seed,
             }

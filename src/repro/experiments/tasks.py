@@ -142,20 +142,45 @@ def _run_sim(task: Task) -> Dict[str, Any]:
         stack=params.get("stack", "r2c2"),
         headroom=float(params.get("headroom", 0.05)),
         mtu_payload=int(params.get("mtu_payload", 1500)),
+        control_plane=params.get("control_plane", "shared"),
         seed=int(params.get("sim_seed", task.seed)),
     )
-    telemetry = Telemetry(
-        TelemetryConfig(metrics=True, trace=False, per_link_series=False)
+    telemetry_config = TelemetryConfig(
+        metrics=True, trace=False, per_link_series=False
     )
-    metrics = run_simulation(topology, trace, config, telemetry=telemetry)
+    if task.scenario.shards > 1:
+        # Executor policy, not semantics: the sharded run is byte-identical
+        # to the serial one (and refuses configurations where it could not
+        # be — e.g. r2c2 needs control_plane='per_node' in params).
+        from ..distsim import run_sharded_simulation
+
+        sharded = run_sharded_simulation(
+            topology,
+            trace,
+            config,
+            shards=task.scenario.shards,
+            executor=params.get("shard_executor", "virtual"),
+            telemetry_config=telemetry_config,
+        )
+        metrics = sharded.metrics
+        snapshot = sharded.telemetry_snapshot or {}
+    else:
+        telemetry = Telemetry(telemetry_config)
+        metrics = run_simulation(topology, trace, config, telemetry=telemetry)
+        snapshot = telemetry.metrics.snapshot()
+    # The raw event count is an executor artifact (shards schedule extra
+    # boundary-injection events), not a simulation result — drop it so the
+    # result dict is byte-identical across executors.
+    summary = metrics.summary()
+    summary.pop("events", None)
     result: Dict[str, Any] = {
         "stack": config.stack,
-        "summary": metrics.summary(),
+        "summary": summary,
         "completion_rate": metrics.completion_rate(),
         "short_fcts_us": sorted(metrics.short_fcts_us()),
         "long_tputs_gbps": sorted(metrics.long_throughputs_gbps()),
         "queue_occupancy_bytes": sorted(metrics.max_queue_occupancy_bytes),
-        "telemetry": _rollup_snapshot(telemetry.metrics.snapshot()),
+        "telemetry": _rollup_snapshot(snapshot),
     }
     return result
 
@@ -257,10 +282,23 @@ _EXECUTORS = {
 
 
 def _rollup_snapshot(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
-    """Shrink a metrics snapshot to the rollup-relevant sections."""
+    """Shrink a metrics snapshot to the rollup-relevant sections.
+
+    Executor-dependent gauges (event counts, last-writer table sizes) are
+    dropped: task results must be byte-identical whether a cell ran
+    serially or sharded, since ``Scenario.shards`` is outside the cache
+    fingerprint.
+    """
+    from ..distsim.merge import EXECUTOR_DEPENDENT_GAUGES
+
+    gauges = {
+        name: value
+        for name, value in snapshot.get("gauges", {}).items()
+        if name not in EXECUTOR_DEPENDENT_GAUGES
+    }
     return {
         "counters": dict(snapshot.get("counters", {})),
-        "gauges": dict(snapshot.get("gauges", {})),
+        "gauges": gauges,
     }
 
 

@@ -1,14 +1,21 @@
 """Discrete-event simulation engine.
 
 A minimal, fast event loop: integer-nanosecond timestamps, a binary heap,
-and FIFO ordering among simultaneous events (a monotonically increasing
-sequence number breaks timestamp ties, so causality between same-time events
-follows scheduling order).
+and deterministic ordering among simultaneous events.  The heap key is
+``(timestamp, priority, sequence)``: an integer *priority* (default 0)
+orders same-instant events by **content** — packet-delivery events carry
+their link's identity — and a monotonically increasing sequence number
+breaks the remaining ties FIFO, so causality between same-time same-priority
+events follows scheduling order.  Content-based tie-breaking is what makes
+sharded execution (:mod:`repro.distsim`) byte-identical to a serial run:
+the relative order of two same-instant deliveries at different nodes is a
+property of the links involved, not of which event loop scheduled first.
 
 An optional *observer* (see :mod:`repro.validation`) receives every
-``(timestamp, sequence)`` pair as it executes, which lets the invariant
-auditor machine-check clock monotonicity and FIFO causality.  With no
-observer attached the cost is a single ``is not None`` test per event.
+``(timestamp, priority, sequence)`` triple as it executes, which lets the
+invariant auditor machine-check clock monotonicity and tie-break causality.
+With no observer attached the cost is a single ``is not None`` test per
+event.
 """
 
 from __future__ import annotations
@@ -51,7 +58,7 @@ class EventLoop:
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
-        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[int, int, int, Callable[[], None]]] = []
         self._events_processed = 0
         self._observer = None
         self._batch_observer = None
@@ -67,7 +74,7 @@ class EventLoop:
         return self._events_processed
 
     def attach_observer(self, observer) -> None:
-        """Install an event observer (``observer.on_event(at_ns, seq)``).
+        """Install an event observer (``observer.on_event(at_ns, prio, seq)``).
 
         Used by the invariant auditor; pass ``None`` to detach.
         """
@@ -84,21 +91,29 @@ class EventLoop:
         """
         self._batch_observer = observer
 
-    def schedule(self, delay_ns: int, action: Callable[[], None]) -> None:
-        """Run *action* ``delay_ns`` nanoseconds from now."""
+    def schedule(
+        self, delay_ns: int, action: Callable[[], None], prio: int = 0
+    ) -> None:
+        """Run *action* ``delay_ns`` nanoseconds from now.
+
+        *prio* orders same-instant events (ascending) before the FIFO
+        sequence number does; events with equal priority keep FIFO order.
+        """
         delay_ns = _as_time_ns(delay_ns, "delay")
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule {delay_ns} ns in the past")
-        self.schedule_at(self._now + delay_ns, action)
+        self.schedule_at(self._now + delay_ns, action, prio)
 
-    def schedule_at(self, at_ns: int, action: Callable[[], None]) -> None:
-        """Run *action* at absolute time *at_ns*."""
+    def schedule_at(
+        self, at_ns: int, action: Callable[[], None], prio: int = 0
+    ) -> None:
+        """Run *action* at absolute time *at_ns* (see :meth:`schedule`)."""
         at_ns = _as_time_ns(at_ns, "timestamp")
         if at_ns < self._now:
             raise SimulationError(
                 f"cannot schedule at {at_ns} ns, current time is {self._now} ns"
             )
-        heapq.heappush(self._queue, (at_ns, self._seq, action))
+        heapq.heappush(self._queue, (at_ns, prio, self._seq, action))
         self._seq += 1
 
     def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> int:
@@ -124,14 +139,14 @@ class EventLoop:
         while self._queue:
             if max_events is not None and processed >= max_events:
                 break
-            at_ns, seq, action = self._queue[0]
+            at_ns, prio, seq, action = self._queue[0]
             if until_ns is not None and at_ns > until_ns:
                 self._now = until_ns
                 break
             heapq.heappop(self._queue)
             self._now = at_ns
             if observer is not None:
-                observer.on_event(at_ns, seq)
+                observer.on_event(at_ns, prio, seq)
             action()
             processed += 1
         else:
@@ -168,7 +183,7 @@ class EventLoop:
         processed = 0
         if until_ns is None:
             while queue:
-                at_ns, _seq, action = pop(queue)
+                at_ns, _prio, _seq, action = pop(queue)
                 self._now = at_ns
                 action()
                 processed += 1
@@ -177,7 +192,7 @@ class EventLoop:
                 at_ns = queue[0][0]
                 if at_ns > until_ns:
                     break
-                _, _seq, action = pop(queue)
+                _, _prio, _seq, action = pop(queue)
                 self._now = at_ns
                 action()
                 processed += 1
@@ -216,7 +231,40 @@ class EventLoop:
         A bound-checked convenience over :meth:`run`: *until_ns* must be an
         integer timestamp no earlier than the current clock.
         """
+        if until_ns is None:
+            raise SimulationError("run_until requires an explicit until_ns")
         return self.run(until_ns=until_ns, max_events=max_events)
+
+    def next_event_time(self) -> Optional[int]:
+        """Timestamp of the earliest queued event, or ``None`` when empty.
+
+        A pure peek: neither the clock nor the queue changes.  Shard
+        coordinators use this to compute the global lower bound on virtual
+        time before granting the next safe execution window.
+        """
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def run_window(self, end_ns: int) -> int:
+        """Process every event with timestamp ``<= end_ns``; clock ends at *end_ns*.
+
+        The bounded-window primitive of conservative parallel simulation: a
+        shard granted the window ``(now, end_ns]`` executes exactly the
+        events inside it and parks its clock at the window edge even if the
+        queue drains early, so all shards observe identical window
+        boundaries.  *end_ns* must be an exact integer timestamp no earlier
+        than the current clock (the same validation as :meth:`schedule_at`).
+
+        Returns:
+            Number of events processed during this call.
+        """
+        end_ns = _as_time_ns(end_ns, "end_ns")
+        if end_ns < self._now:
+            raise SimulationError(
+                f"cannot run window to {end_ns} ns, current time is {self._now} ns"
+            )
+        return self.run_batch(until_ns=end_ns)
 
     def pending(self) -> int:
         """Events currently queued."""

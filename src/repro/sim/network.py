@@ -23,6 +23,19 @@ from .engine import EventLoop
 from .packets import KIND_BROADCAST, SimPacket
 
 
+def link_prio(src: NodeId, dst: NodeId, n_nodes: int) -> int:
+    """Event-loop priority of link ``src -> dst``'s delivery events.
+
+    A dense, positive encoding of the link's identity (timer/arrival/epoch
+    events keep the default priority 0 and sort first).  Both the serial
+    engine and every shard use this same function, which is what makes the
+    relative order of same-instant deliveries — the one tie the serial
+    engine used to break by global scheduling order — reproducible across
+    any sharding of the fabric.
+    """
+    return 1 + src * n_nodes + dst
+
+
 class FifoQueue:
     """Single drop-tail FIFO per port — R2C2's data-plane assumption.
 
@@ -145,10 +158,17 @@ class OutputPort:
         loss_rate: float = 0.0,
         loss_rng: Optional[random.Random] = None,
         auditor=None,
+        prio: int = 0,
     ) -> None:
         self._loop = loop
         self.src = src
         self.dst = dst
+        #: Deterministic same-instant tie-break for this link's delivery
+        #: events: two packets arriving anywhere in the fabric at the same
+        #: nanosecond are delivered in link-identity order, independent of
+        #: event scheduling order (and therefore identical between serial
+        #: and sharded execution).
+        self.prio = prio
         self._capacity_bps = capacity_bps
         self._latency_ns = latency_ns
         self.queue = queue
@@ -257,7 +277,9 @@ class OutputPort:
             # Propagation happens in parallel with the next serialization.
             if self._auditor is not None:
                 self._auditor.on_propagate(self, packet)
-            self._loop.schedule(self._latency_ns, lambda p=packet: self._deliver(p))
+            self._loop.schedule(
+                self._latency_ns, lambda p=packet: self._deliver(p), self.prio
+            )
         self._start_next()
 
     def kick(self) -> None:
@@ -289,7 +311,24 @@ class RackNetwork:
         loss_rate: float = 0.0,
         loss_seed: int = 0,
         auditor=None,
+        owned_nodes=None,
+        boundary: Optional[Callable[[int, NodeId, SimPacket], None]] = None,
     ) -> None:
+        """Build the fabric (or, for sharded runs, one shard's slice of it).
+
+        With ``owned_nodes`` set (an iterable of node ids), only the output
+        ports whose *sending* node is owned are instantiated.  A cut port —
+        owned sender, remote receiver — serializes packets normally (so its
+        queueing/transmission statistics stay exact) but hands the finished
+        packet to ``boundary(arrival_ns, dst, packet)`` at transmission-end
+        time instead of scheduling local propagation; the shard coordinator
+        relays it to the owning shard, which re-enters it via
+        :meth:`arrived`.  The hand-off consumes exactly the event-loop slot
+        the serial engine would spend on the propagation event (keeping
+        per-shard sequence assignment aligned), and the injected event
+        carries the link's delivery priority, so same-instant ordering at
+        the destination is byte-identical to the serial run.
+        """
         if not (0.0 <= loss_rate < 1.0):
             raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self._loop = loop
@@ -297,24 +336,40 @@ class RackNetwork:
         self._fib = fib
         self._on_drop = on_drop
         self._auditor = auditor
+        owned = None if owned_nodes is None else set(owned_nodes)
+        if owned is not None and boundary is None:
+            raise SimulationError("owned_nodes requires a boundary callback")
+        self._owned = owned
+        self._boundary = boundary
         loss_rng = random.Random(loss_seed ^ 0x10555) if loss_rate > 0 else None
         #: stack_at[node] is installed by the runner; it must expose
         #: deliver(packet) for packets terminating at the node.
         self.stack_at: List[Optional[object]] = [None] * topology.n_nodes
         self._ports: Dict[Tuple[NodeId, NodeId], OutputPort] = {}
         for link in topology.links:
+            if owned is not None and link.src not in owned:
+                continue
+            if owned is not None and link.dst not in owned:
+                deliver = self._make_boundary_deliver(
+                    link.src, link.dst, link.latency_ns
+                )
+                latency_ns = 0
+            else:
+                deliver = self._make_deliver(link.dst)
+                latency_ns = link.latency_ns
             self._ports[(link.src, link.dst)] = OutputPort(
                 loop,
                 link.src,
                 link.dst,
                 link.capacity_bps,
-                link.latency_ns,
+                latency_ns,
                 queue_factory(),
-                deliver=self._make_deliver(link.dst),
+                deliver=deliver,
                 on_drop=self._make_drop_handler(link.src),
                 loss_rate=loss_rate,
                 loss_rng=loss_rng,
                 auditor=auditor,
+                prio=link_prio(link.src, link.dst, topology.n_nodes),
             )
         if auditor is not None:
             auditor.attach_network(self)
@@ -342,6 +397,20 @@ class RackNetwork:
 
     def _make_deliver(self, node: NodeId):
         return lambda packet: self.arrived(node, packet)
+
+    def _make_boundary_deliver(self, src: NodeId, dst: NodeId, latency_ns: int):
+        """Deliver closure for a cut port: emit a timestamped message.
+
+        Fires at transmission-finish time (the port's scheduling latency is
+        zero); the true arrival instant is computed here so the remote shard
+        can schedule :meth:`arrived` at exactly the time the serial engine
+        would have — with the link's delivery priority, so the injected
+        event sorts against the destination shard's same-instant events
+        exactly as the serial engine's propagation event would.
+        """
+        return lambda packet: self._boundary(
+            self._loop.now + latency_ns, src, dst, packet
+        )
 
     def _make_drop_handler(self, node: NodeId):
         if self._on_drop is None:

@@ -217,17 +217,19 @@ def run_simulation(
     if telemetry is not None and telemetry.enabled:
         if probes is not None:
             probes.sample(loop.now)  # final sample, even for tiny runs
-        _finalize_telemetry(telemetry, metrics, loop)
+        _finalize_telemetry(telemetry, metrics)
     return metrics
 
 
-def _finalize_telemetry(telemetry, metrics: SimMetrics, loop: EventLoop) -> None:
+def _finalize_telemetry(telemetry, metrics: SimMetrics) -> None:
     """End-of-run rollups into the metrics registry.
 
     Wire-byte counters are recorded so a snapshot matches the
     :class:`SimMetrics` totals exactly (`wire.*` from the network's port
     statistics, `broadcast.wire_bytes` accumulated live at delivery); the
     per-port *maximum* queue occupancies become the Figure 7b/14 histogram.
+    Shared with :mod:`repro.distsim`, which applies it once to the merged
+    metrics so the combined snapshot finalizes exactly like a serial run's.
     """
     from ..telemetry import QUEUE_BUCKETS
 
@@ -237,7 +239,7 @@ def _finalize_telemetry(telemetry, metrics: SimMetrics, loop: EventLoop) -> None
     registry.counter("wire.ack_bytes").inc(metrics.ack_bytes)
     registry.counter("wire.drops").inc(metrics.drops)
     registry.counter("wire.losses").inc(metrics.wire_losses)
-    registry.gauge("sim.events_processed").set(loop.events_processed)
+    registry.gauge("sim.events_processed").set(metrics.events_processed)
     registry.gauge("sim.duration_ns").set(metrics.duration_ns)
     registry.gauge("sim.flows_total").set(len(metrics.flows))
     registry.gauge("sim.flows_completed").set(len(metrics.completed_flows()))
@@ -256,8 +258,25 @@ def _default_horizon(topology: Topology, trace: Sequence[FlowArrival]) -> int:
 
 
 def _build_r2c2(
-    topology, loop, flows, metrics, config, provider, auditor=None, telemetry=None
+    topology,
+    loop,
+    flows,
+    metrics,
+    config,
+    provider,
+    auditor=None,
+    telemetry=None,
+    owned_nodes=None,
+    boundary=None,
+    fib_telemetry=True,
 ):
+    """Wire up the R2C2 stack; ``owned_nodes``/``boundary`` restrict the
+    build to one shard's slice of the fabric (see :mod:`repro.distsim`).
+
+    Every shard builds an identical FIB, so ``fib_telemetry=False`` lets all
+    shards but one skip the (build-time) FIB instruments — the merged
+    registry then carries them exactly once, like a serial run.
+    """
     from ..routing.weights import deterministic_minimal_path
     from .packets import DROP_NOTE_SIZE_BYTES, KIND_BROADCAST, KIND_DROP_NOTE, SimPacket
 
@@ -266,7 +285,7 @@ def _build_r2c2(
         topology,
         n_trees=config.n_broadcast_trees,
         seed=seed,
-        telemetry=telemetry,
+        telemetry=telemetry if fib_telemetry else None,
     )
     network_holder = {}
 
@@ -302,6 +321,8 @@ def _build_r2c2(
         loss_rate=config.loss_rate,
         loss_seed=seed,
         auditor=auditor,
+        owned_nodes=owned_nodes,
+        boundary=boundary,
     )
     network_holder["net"] = network
     provider = provider if provider is not None else WeightProvider(topology)
@@ -312,7 +333,13 @@ def _build_r2c2(
     )
     if config.control_plane == "per_node":
         control = PerNodeControlPlane(
-            loop, network, topology, provider, controller_config, telemetry=telemetry
+            loop,
+            network,
+            topology,
+            provider,
+            controller_config,
+            telemetry=telemetry,
+            nodes=owned_nodes,
         )
     else:
         controller = RateController(
@@ -330,7 +357,8 @@ def _build_r2c2(
         metrics=metrics,
         telemetry=telemetry,
     )
-    for node in topology.nodes():
+    nodes = topology.nodes() if owned_nodes is None else sorted(owned_nodes)
+    for node in nodes:
         if config.reliable:
             network.stack_at[node] = R2C2ReliableStack(
                 node, loop, network, control, flows, rto_ns=config.rto_ns, **common
@@ -343,7 +371,9 @@ def _build_r2c2(
     return network, control
 
 
-def _build_tcp(topology, loop, flows, metrics, config, auditor=None):
+def _build_tcp(
+    topology, loop, flows, metrics, config, auditor=None, owned_nodes=None, boundary=None
+):
     limit = config.tcp_queue_limit_bytes
     network = RackNetwork(
         loop,
@@ -352,9 +382,12 @@ def _build_tcp(topology, loop, flows, metrics, config, auditor=None):
         loss_rate=config.loss_rate,
         loss_seed=config.effective_seed(),
         auditor=auditor,
+        owned_nodes=owned_nodes,
+        boundary=boundary,
     )
     ecmp = EcmpSinglePath(topology)
-    for node in topology.nodes():
+    nodes = topology.nodes() if owned_nodes is None else sorted(owned_nodes)
+    for node in nodes:
         network.stack_at[node] = TcpStack(
             node,
             loop,

@@ -157,14 +157,21 @@ class PerNodeControlPlane:
         provider,
         config: ControllerConfig,
         telemetry=None,
+        nodes=None,
     ) -> None:
         self.loop = loop
         self.network = network
         self._config = config
         self._provider = provider
         self._cache = BoundedLru(4096)
-        self.controllers: List[RateController] = [
-            RateController(
+        #: nodes this plane manages — all of them in a serial run, one
+        #: shard's subset under repro.distsim.  Ascending order keeps the
+        #: epoch-tick iteration identical to the serial engine's.
+        self._nodes: List[NodeId] = (
+            list(topology.nodes()) if nodes is None else sorted(nodes)
+        )
+        self._by_node: Dict[NodeId, RateController] = {
+            node: RateController(
                 topology,
                 node,
                 provider=provider,
@@ -172,7 +179,10 @@ class PerNodeControlPlane:
                 allocation_cache=self._cache,
                 telemetry=telemetry,
             )
-            for node in topology.nodes()
+            for node in self._nodes
+        }
+        self.controllers: List[RateController] = [
+            self._by_node[node] for node in self._nodes
         ]
         #: kept for interface parity (metrics, reliable stack internals).
         self.controller = self.controllers[0]
@@ -217,27 +227,27 @@ class PerNodeControlPlane:
 
     def on_flow_started(self, spec: FlowSpec, node: NodeId) -> None:
         """The sender's controller learns immediately; others by delivery."""
-        self.controllers[node].on_flow_started(spec, self.loop.now)
+        self._by_node[node].on_flow_started(spec, self.loop.now)
 
     def on_flow_reannounced(self, spec: FlowSpec, node: NodeId) -> None:
         """§3.2 recovery: the sender refreshes its own table entry."""
-        self.controllers[node].table.add(spec)
+        self._by_node[node].table.add(spec)
 
     def on_flow_finished(self, flow_id: int, node: NodeId) -> None:
-        self.controllers[node].on_flow_finished(flow_id, self.loop.now)
+        self._by_node[node].on_flow_finished(flow_id, self.loop.now)
 
     def on_demand_update(self, flow_id: int, demand_bps: float, node: NodeId) -> None:
-        self.controllers[node].on_demand_update(flow_id, demand_bps)
+        self._by_node[node].on_demand_update(flow_id, demand_bps)
 
     def rate_for(self, flow_id: int, node: NodeId) -> float:
-        return self.controllers[node].rate_for(flow_id)
+        return self._by_node[node].rate_for(flow_id)
 
     def apply_broadcast(self, node: NodeId, src: NodeId, payload) -> None:
         """A broadcast packet reached *node*: apply it to that node's view."""
         if src == node:
             return  # the sender already applied its own event
         event, data = payload
-        controller = self.controllers[node]
+        controller = self._by_node[node]
         if event == _EVENT_START:
             # Remote nodes store the spec; they never rate-limit it, so the
             # young-flow water-fill is suppressed by inserting directly.
@@ -256,6 +266,14 @@ class PerNodeControlPlane:
         for controller in self.controllers:
             stats.extend(controller.stats)
         return stats
+
+    def recompute_stats_by_node(self):
+        """Per-node recomputation statistics (``{node: [stats, ...]}``).
+
+        The sharded merge concatenates these in global node order, which
+        reproduces :meth:`recompute_stats` of a serial run exactly.
+        """
+        return {node: list(self._by_node[node].stats) for node in self._nodes}
 
 
 class R2C2Stack(HostStack):

@@ -8,12 +8,15 @@ Public surface:
 * :class:`ShortestPathDag`, :func:`count_shortest_paths`,
   :func:`enumerate_shortest_paths` — minimal-path structure.
 * :func:`bisection_channel_count`, :func:`bisection_bandwidth_bps`.
+* :class:`Partition` / :func:`partition_topology` — shard cuts for the
+  parallel simulation engine (:mod:`repro.distsim`).
 """
 
 from .base import DEFAULT_CAPACITY_BPS, DEFAULT_LATENCY_NS, GraphTopology, Topology
 from .bisection import bisection_bandwidth_bps, bisection_channel_count
 from .clos import FoldedClosTopology
 from .hypercube import HypercubeTopology
+from .partition import Partition, partition_topology
 from .paths import (
     ShortestPathDag,
     count_shortest_paths,
@@ -31,6 +34,7 @@ __all__ = [
     "GraphTopology",
     "HypercubeTopology",
     "MeshTopology",
+    "Partition",
     "ShortestPathDag",
     "Topology",
     "TorusTopology",
@@ -40,5 +44,6 @@ __all__ = [
     "enumerate_shortest_paths",
     "is_minimal_path",
     "is_valid_path",
+    "partition_topology",
     "path_links",
 ]

@@ -341,6 +341,20 @@ class Topology:
         )
 
     # ------------------------------------------------------------------
+    # Partitioning (sharded simulation support)
+    # ------------------------------------------------------------------
+    def partition(self, k: int, strategy: str = "auto"):
+        """Split the nodes into *k* shards for parallel simulation.
+
+        Returns a :class:`~repro.topology.partition.Partition`; see that
+        module for the cut strategies.  Composes with failure views — the
+        partition of a degraded topology only sees surviving links.
+        """
+        from .partition import partition_topology
+
+        return partition_topology(self, k, strategy=strategy)
+
+    # ------------------------------------------------------------------
     def _check_node(self, node: NodeId) -> None:
         if not (0 <= node < self._n_nodes):
             raise TopologyError(f"node {node} outside range 0..{self._n_nodes - 1}")

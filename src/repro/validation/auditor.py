@@ -101,6 +101,7 @@ class InvariantAuditor:
             self._tel_trace = None
         # Event-loop causality state.
         self._last_at_ns = -1
+        self._last_prio = 0
         self._last_seq = -1
         self._events = 0
         # Port conservation state.
@@ -152,8 +153,15 @@ class InvariantAuditor:
     # ------------------------------------------------------------------
     # Event-loop hook
     # ------------------------------------------------------------------
-    def on_event(self, at_ns: int, seq: int) -> None:
-        """One event is about to execute at *at_ns* with scheduling *seq*."""
+    def on_event(self, at_ns: int, prio: int, seq: int) -> None:
+        """One event is about to execute at *at_ns* with key (*prio*, *seq*).
+
+        Same-instant events must execute in ascending ``(priority,
+        sequence)`` order: priority is the engine's deterministic
+        content-based tie-break (packet deliveries carry their link's
+        identity), and the FIFO sequence number orders events of equal
+        priority by scheduling time.
+        """
         if not self.enabled:
             return
         self._events += 1
@@ -161,12 +169,16 @@ class InvariantAuditor:
             self._violate(
                 f"clock moved backwards: event at {at_ns} ns after {self._last_at_ns} ns"
             )
-        elif at_ns == self._last_at_ns and seq <= self._last_seq:
+        elif at_ns == self._last_at_ns and (prio, seq) <= (
+            self._last_prio,
+            self._last_seq,
+        ):
             self._violate(
-                f"FIFO causality broken at t={at_ns} ns: sequence {seq} "
-                f"executed after {self._last_seq}"
+                f"FIFO causality broken at t={at_ns} ns: key ({prio}, {seq}) "
+                f"executed after ({self._last_prio}, {self._last_seq})"
             )
         self._last_at_ns = at_ns
+        self._last_prio = prio
         self._last_seq = seq
 
     # ------------------------------------------------------------------

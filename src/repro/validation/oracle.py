@@ -1,6 +1,6 @@
 """Differential oracles: cross-check independent implementations.
 
-Three pairings, mirroring how the paper validates its own stack:
+Four pairings, mirroring how the paper validates its own stack:
 
 * :func:`waterfill_vs_lp_case` — the production water-filling allocator
   against the LP-based max-min reference (§3.3.1).  On single-path flows
@@ -12,6 +12,12 @@ Three pairings, mirroring how the paper validates its own stack:
   the report carries the maximum relative rate error).
 * :func:`sim_vs_maze_case` — the packet simulator against the Maze
   emulation platform (Figure 7's cross-validation, randomized).
+* :func:`sharded_vs_serial_case` — the sharded parallel simulator
+  (:mod:`repro.distsim`) against the serial engine.  Unlike the other
+  oracles this one tolerates **zero** error: sharding is an executor
+  choice, never a semantics choice, so the canonical metrics digest and
+  the merged telemetry snapshot must be *byte-identical* (a case reports
+  error 0.0 or 1.0, nothing in between).
 
 Every case is generated from a single integer seed, so a failure names its
 exact reproduction.
@@ -367,4 +373,131 @@ def sim_vs_maze_report(
                 seed * 1000 + i, n_flows=n_flows, size_bytes=size_bytes
             )
         )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Sharded simulator vs serial engine (exact equality)
+# ----------------------------------------------------------------------
+def _random_sharded_workload(seed: int, n_flows: int):
+    """A randomized (topology, trace, config) triple that supports sharding."""
+    from ..topology.clos import FoldedClosTopology
+    from ..topology.torus import TorusTopology
+    from ..workloads.generator import poisson_trace
+    from ..workloads.sizes import ParetoSizes
+
+    rng = random.Random(seed ^ 0x5A4D)
+    sizes = ParetoSizes(mean_bytes=rng.choice([20_000, 50_000]))
+    if rng.random() < 0.5:
+        topology = TorusTopology(rng.choice([(4, 4), (3, 4), (2, 4)]))
+        trace = poisson_trace(
+            topology,
+            n_flows,
+            mean_interarrival_ns=10_000,
+            sizes=sizes,
+            seed=seed,
+        )
+    else:
+        topology = FoldedClosTopology(n_hosts=16, radix=8)
+        # Host-to-host traffic only: switches neither send nor receive.
+        trace = []
+        start_ns = 0
+        for flow_id in range(n_flows):
+            src = rng.randrange(topology.n_hosts)
+            dst = rng.randrange(topology.n_hosts - 1)
+            if dst >= src:
+                dst += 1
+            trace.append(
+                FlowArrival(
+                    flow_id=flow_id,
+                    src=src,
+                    dst=dst,
+                    size_bytes=sizes.sample(rng),
+                    start_ns=start_ns,
+                )
+            )
+            start_ns += rng.randrange(1, 20_000)
+    if rng.random() < 0.5:
+        config = SimConfig(stack="r2c2", control_plane="per_node", seed=seed)
+    else:
+        config = SimConfig(stack="tcp", seed=seed)
+    return topology, trace, config
+
+
+def sharded_vs_serial_case(
+    seed: int,
+    shards: int = 2,
+    executor: str = "virtual",
+    n_flows: int = 30,
+) -> DifferentialCase:
+    """One exact-equality check of the sharded engine against the serial one.
+
+    Runs the same randomized workload through :func:`repro.sim.runner.
+    run_simulation` and :func:`repro.distsim.run_sharded_simulation` (both
+    with metrics-only telemetry) and compares the canonical metrics digest
+    *and* the merged telemetry snapshot for equality.  ``max_rel_error`` is
+    0.0 on agreement and 1.0 on any difference; ``per_flow_rel_error``
+    pinpoints the differing flows (the telemetry comparison, if it is the
+    one that differs, appears under flow id -1).
+    """
+    from ..distsim import (
+        canonical_flow,
+        canonical_metrics,
+        comparable_snapshot,
+        run_sharded_simulation,
+    )
+    from ..telemetry import Telemetry, TelemetryConfig
+
+    topology, trace, config = _random_sharded_workload(seed, n_flows)
+    telemetry = Telemetry(TelemetryConfig(metrics=True, trace=False))
+    serial = run_simulation(topology, trace, config, telemetry=telemetry)
+    sharded = run_sharded_simulation(
+        topology,
+        trace,
+        config,
+        shards=shards,
+        executor=executor,
+        telemetry_config=TelemetryConfig(metrics=True, trace=False),
+    )
+
+    per_flow: Dict[FlowId, float] = {}
+    for serial_flow, sharded_flow in zip(serial.flows, sharded.metrics.flows):
+        if canonical_flow(serial_flow) != canonical_flow(sharded_flow):
+            per_flow[serial_flow.flow_id] = 1.0
+    if comparable_snapshot(telemetry.metrics.snapshot()) != comparable_snapshot(
+        sharded.telemetry_snapshot
+    ):
+        per_flow[-1] = 1.0
+    equal = (
+        not per_flow
+        and canonical_metrics(serial) == canonical_metrics(sharded.metrics)
+    )
+    return DifferentialCase(
+        seed=seed,
+        description=(
+            f"sharded-vs-serial on {topology.name} ({config.stack}, "
+            f"K={shards}, {executor})"
+        ),
+        n_flows=len(trace),
+        max_rel_error=0.0 if equal else 1.0,
+        per_flow_rel_error=per_flow,
+    )
+
+
+def sharded_vs_serial_report(
+    n_cases: int = 6,
+    seed: int = 0,
+    shards: Tuple[int, ...] = (2, 4),
+    executor: str = "virtual",
+    n_flows: int = 30,
+) -> DifferentialReport:
+    """Randomized sweep of :func:`sharded_vs_serial_case` (tolerance 0)."""
+    report = DifferentialReport(name="sharded-vs-serial", tolerance=0.0)
+    for i in range(n_cases):
+        for k in shards:
+            report.cases.append(
+                sharded_vs_serial_case(
+                    seed * 1000 + i, shards=k, executor=executor, n_flows=n_flows
+                )
+            )
     return report

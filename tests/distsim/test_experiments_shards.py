@@ -1,0 +1,147 @@
+"""``Scenario.shards`` as pure executor policy in the campaign runner.
+
+``shards`` must not perturb fingerprints (so cached serial results satisfy
+sharded requests and vice versa), must not perturb result bytes (the
+invariant that justifies the exclusion), and must compose with the
+checkpoint/resume machinery — a killed sharded campaign resumes to the
+same bytes as an uninterrupted serial reference.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError, SimulationError
+from repro.experiments import Campaign, ExecutorConfig, Scenario, run_campaign
+from repro.experiments.spec import EXECUTOR_POLICY_FIELDS
+from repro.experiments.tasks import execute_task
+from repro.validation import FaultEvent
+
+pytestmark = pytest.mark.distsim
+
+_SIM_PARAMS = {
+    "stack": "r2c2",
+    "control_plane": "per_node",
+    "n_flows": 12,
+    "tau_ns": 5_000,
+}
+
+
+def _scenario(name="cell", shards=1, **overrides):
+    params = dict(_SIM_PARAMS, **overrides.pop("params", {}))
+    return Scenario(
+        name=name,
+        kind="sim",
+        topology="torus",
+        dims=(3, 4),
+        params=params,
+        shards=shards,
+        **overrides,
+    )
+
+
+def _single_task(scenario, seed=21):
+    return Campaign(name="c", scenarios=(scenario,), seed=seed).expand()[0]
+
+
+def test_shards_is_declared_executor_policy():
+    assert "shards" in EXECUTOR_POLICY_FIELDS
+
+
+def test_shards_outside_fingerprints_and_seeds():
+    serial = _scenario()
+    sharded = _scenario(shards=4)
+    assert serial.fingerprint() == sharded.fingerprint()
+    t_serial, t_sharded = _single_task(serial), _single_task(sharded)
+    assert t_serial.fingerprint() == t_sharded.fingerprint()
+    assert t_serial.seed == t_sharded.seed
+
+
+def test_shards_survives_spec_round_trip():
+    scenario = _scenario(shards=2)
+    clone = Scenario.from_json(scenario.to_json())
+    assert clone.shards == 2
+    assert clone.fingerprint() == scenario.fingerprint()
+
+
+def test_invalid_shards_rejected():
+    with pytest.raises(ExperimentError, match="shards"):
+        _scenario(shards=0)
+
+
+def test_sharded_task_result_is_byte_identical():
+    """The payoff that legitimizes the fingerprint exclusion."""
+    serial = execute_task(_single_task(_scenario()))
+    sharded = execute_task(_single_task(_scenario(shards=2)))
+    assert json.dumps(serial, sort_keys=True) == json.dumps(sharded, sort_keys=True)
+
+
+def test_incompatible_sharded_config_fails_loudly():
+    """`shards` never silently changes semantics: an r2c2 scenario without
+    control_plane='per_node' in its (fingerprinted) params refuses to shard
+    rather than flipping the control plane under the cache key."""
+    bad = _scenario(shards=2, params={"control_plane": "shared"})
+    with pytest.raises(SimulationError, match="per_node"):
+        execute_task(_single_task(bad))
+
+
+def test_kill_then_resume_sharded_campaign(tmp_path):
+    """Kill a sharded campaign mid-run; the resumed run is byte-identical
+    to an uninterrupted *serial* reference and shares its cache records."""
+    sharded = Campaign(
+        name="dist",
+        scenarios=(
+            _scenario("a", shards=2),
+            _scenario("b", shards=2, params={"sim_seed": 9}),
+            _scenario("c", shards=2, params={"n_flows": 8}),
+        ),
+        seed=5,
+    )
+    serial = Campaign(
+        name="dist",
+        scenarios=(
+            _scenario("a"),
+            _scenario("b", params={"sim_seed": 9}),
+            _scenario("c", params={"n_flows": 8}),
+        ),
+        seed=5,
+    )
+    reference = run_campaign(
+        serial, ExecutorConfig(workers=1), cache_dir=tmp_path / "ref"
+    )
+    assert reference.complete
+
+    cache_dir = tmp_path / "cache"
+    killed = run_campaign(
+        sharded,
+        ExecutorConfig(workers=1),
+        cache_dir=cache_dir,
+        fault_events=[FaultEvent(at_ns=1, kind="kill_campaign", target=None)],
+    )
+    assert killed.status == "interrupted"
+    assert killed.manifest["counts"]["computed"] == 1
+    assert killed.manifest["counts"]["pending"] == 2
+
+    resumed = run_campaign(sharded, ExecutorConfig(workers=1), cache_dir=cache_dir)
+    assert resumed.complete
+    assert resumed.manifest["counts"]["cache_hits"] == 1
+    assert resumed.manifest["counts"]["computed"] == 2
+
+    ref_bytes = json.dumps(reference.results, sort_keys=True).encode()
+    res_bytes = json.dumps(resumed.results, sort_keys=True).encode()
+    assert res_bytes == ref_bytes
+
+
+def test_serial_cache_satisfies_sharded_request(tmp_path):
+    """A cache populated serially is hit — not recomputed — by the sharded
+    variant of the same campaign (and vice versa by symmetry)."""
+    serial = Campaign(name="x", scenarios=(_scenario("a"),), seed=3)
+    sharded = Campaign(name="x", scenarios=(_scenario("a", shards=2),), seed=3)
+    cache_dir = tmp_path / "cache"
+    first = run_campaign(serial, ExecutorConfig(workers=1), cache_dir=cache_dir)
+    second = run_campaign(sharded, ExecutorConfig(workers=1), cache_dir=cache_dir)
+    assert second.manifest["counts"]["cache_hits"] == 1
+    assert second.manifest["counts"]["computed"] == 0
+    assert json.dumps(first.results, sort_keys=True) == json.dumps(
+        second.results, sort_keys=True
+    )

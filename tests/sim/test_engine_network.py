@@ -104,8 +104,8 @@ class TestEventLoopBatch:
         seen = []
 
         class Observer:
-            def on_event(self, at_ns, seq):
-                seen.append((at_ns, seq))
+            def on_event(self, at_ns, prio, seq):
+                seen.append((at_ns, prio, seq))
 
         loop.attach_observer(Observer())
         loop.schedule(5, lambda: None)
@@ -197,8 +197,8 @@ class TestEventLoopTimeValidation:
         seen = []
 
         class Observer:
-            def on_event(self, at_ns, seq):
-                seen.append((at_ns, seq))
+            def on_event(self, at_ns, prio, seq):
+                seen.append((at_ns, prio, seq))
 
         loop = EventLoop()
         loop.attach_observer(Observer())

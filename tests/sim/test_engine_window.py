@@ -1,0 +1,146 @@
+"""Event-loop windowing primitives (:meth:`next_event_time`,
+:meth:`run_window`) and deterministic same-instant ordering — the engine
+surface the sharded coordinator is built on.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventLoop
+
+
+def test_next_event_time_peeks_without_side_effects():
+    loop = EventLoop()
+    assert loop.next_event_time() is None
+    loop.schedule_at(40, lambda: None)
+    loop.schedule_at(10, lambda: None)
+    assert loop.next_event_time() == 10
+    assert loop.next_event_time() == 10  # pure peek, repeatable
+    assert loop.now == 0
+    assert loop.pending() == 2
+
+
+def test_run_window_executes_inclusive_and_parks_clock():
+    loop = EventLoop()
+    fired = []
+    for t in (5, 10, 11, 30):
+        loop.schedule_at(t, lambda t=t: fired.append(t))
+    processed = loop.run_window(10)
+    assert fired == [5, 10]
+    assert processed == 2
+    assert loop.now == 10  # parked at the edge, not at the last event
+    assert loop.next_event_time() == 11
+
+
+def test_run_window_parks_clock_when_queue_drains_early():
+    loop = EventLoop()
+    loop.schedule_at(3, lambda: None)
+    loop.run_window(100)
+    assert loop.now == 100
+    assert loop.next_event_time() is None
+    # An empty window on an empty queue still advances the clock.
+    loop.run_window(250)
+    assert loop.now == 250
+
+
+def test_run_window_rejects_past_and_non_integer_edges():
+    loop = EventLoop()
+    loop.schedule_at(5, lambda: None)
+    loop.run_window(20)
+    with pytest.raises(SimulationError):
+        loop.run_window(19)
+    with pytest.raises(SimulationError):
+        loop.run_window(20.5)
+    loop.run_window(20)  # the current instant is a valid (empty) window
+
+
+def test_all_time_entry_points_reject_bad_times_uniformly():
+    """schedule / schedule_at / run / run_until / run_window share one
+    validator: negative, past, NaN, infinite and fractional times all
+    raise SimulationError rather than corrupting heap order."""
+    loop = EventLoop()
+    loop.schedule_at(2, lambda: None)
+    loop.run_window(4)  # clock now at 4
+    for bad_call in (
+        lambda: loop.schedule(-1, lambda: None),
+        lambda: loop.schedule(float("nan"), lambda: None),
+        lambda: loop.schedule(1.5, lambda: None),
+        lambda: loop.schedule_at(3, lambda: None),  # behind the clock
+        lambda: loop.schedule_at(float("inf"), lambda: None),
+        lambda: loop.schedule_at("5", lambda: None),
+        lambda: loop.run(until_ns=3),
+        lambda: loop.run(until_ns=float("nan")),
+        lambda: loop.run_until(3),
+        lambda: loop.run_until(None),
+        lambda: loop.run_until(4.25),
+        lambda: loop.run_window(3),
+        lambda: loop.run_window(float("-inf")),
+    ):
+        with pytest.raises(SimulationError):
+            bad_call()
+    assert loop.now == 4  # no failed call moved the clock
+    assert loop.pending() == 0
+
+
+def test_exact_integral_floats_are_accepted():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(10.0, lambda: fired.append("a"))
+    loop.run_until(20.0)
+    assert fired == ["a"]
+    assert loop.now == 20
+
+
+def test_windowed_execution_equals_free_run():
+    """Chopping a run into arbitrary windows must not change the outcome."""
+
+    def build(loop, order):
+        def ping(t, n):
+            order.append((t, n))
+            if n < 3:
+                loop.schedule(7, lambda: ping(loop.now, n + 1))
+
+        for i in range(4):
+            loop.schedule_at(3 * i, lambda i=i: ping(3 * i, 0))
+
+    free_loop, free_order = EventLoop(), []
+    build(free_loop, free_order)
+    free_loop.run()
+
+    win_loop, win_order = EventLoop(), []
+    build(win_loop, win_order)
+    for edge in (1, 2, 5, 13, 14, 40):
+        win_loop.run_window(edge)
+    assert win_loop.next_event_time() is None
+    assert win_order == free_order
+
+
+def test_same_instant_priority_orders_before_sequence():
+    """Heap key is (time, prio, seq): priority dominates insertion order."""
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(10, lambda: fired.append("late-prio"), prio=9)
+    loop.schedule_at(10, lambda: fired.append("zero-a"))
+    loop.schedule_at(10, lambda: fired.append("early-prio"), prio=2)
+    loop.schedule_at(10, lambda: fired.append("zero-b"))
+    loop.run()
+    assert fired == ["zero-a", "zero-b", "early-prio", "late-prio"]
+
+
+def test_same_priority_keeps_fifo_order():
+    loop = EventLoop()
+    fired = []
+    for tag in ("a", "b", "c"):
+        loop.schedule_at(5, lambda tag=tag: fired.append(tag), prio=4)
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_priority_is_scoped_to_one_instant():
+    """A high-prio event at an earlier time still runs first."""
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(10, lambda: fired.append("t10-p0"))
+    loop.schedule_at(5, lambda: fired.append("t5-p99"), prio=99)
+    loop.run()
+    assert fired == ["t5-p99", "t10-p0"]

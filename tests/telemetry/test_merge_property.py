@@ -1,0 +1,124 @@
+"""Algebraic properties of :func:`repro.telemetry.merge_snapshots`.
+
+The campaign runner and the sharded-simulation coordinator both lean on
+merge being a well-behaved rollup: the result must not depend on worker
+arrival order, and hierarchical merging (shards → racks → campaign) must
+equal one flat merge.  Hypothesis drives randomized snapshots; values are
+integers so sums are exact and the equalities can be literal ``==``.
+
+(The order-independence property deliberately holds only for snapshots
+whose histogram bucket bounds agree per name — mismatched bounds keep the
+first seen, by documented design — so the generator fixes bounds per name.)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import merge_snapshots
+
+pytestmark = pytest.mark.telemetry
+
+_NAMES = ["sim.bytes", "sim.flows", "ctrl.epochs", "net.drops"]
+
+#: Bucket bounds are a property of the instrument, keyed by name — every
+#: snapshot mentioning a histogram name uses the same bounds, as real
+#: registries do.
+_BUCKETS = {
+    "lat.short": [10.0, 100.0, 1000.0],
+    "lat.long": [1.0, 5.0],
+}
+
+_counts = st.dictionaries(
+    st.sampled_from(_NAMES), st.integers(min_value=0, max_value=10**6), max_size=4
+)
+
+
+def _histogram(name):
+    buckets = _BUCKETS[name]
+    return st.lists(
+        st.integers(min_value=0, max_value=1000),
+        min_size=len(buckets) + 1,
+        max_size=len(buckets) + 1,
+    ).flatmap(
+        lambda counts: st.integers(min_value=0, max_value=10**6).map(
+            lambda total: {
+                "buckets": list(buckets),
+                "counts": counts,
+                "count": sum(counts),
+                "sum": total,
+                "min": min(counts) if sum(counts) else None,
+                "max": max(counts) if sum(counts) else None,
+            }
+        )
+    )
+
+
+def _snapshot():
+    return st.fixed_dictionaries(
+        {
+            "counters": _counts,
+            "gauges": _counts,
+            "histograms": st.dictionaries(
+                st.sampled_from(sorted(_BUCKETS)), st.none(), max_size=2
+            ).flatmap(
+                lambda keys: st.fixed_dictionaries(
+                    {name: _histogram(name) for name in keys}
+                )
+            ),
+        }
+    )
+
+
+@given(snaps=st.lists(_snapshot(), min_size=0, max_size=5), seed=st.randoms())
+@settings(max_examples=60, deadline=None)
+def test_merge_is_order_independent(snaps, seed):
+    shuffled = list(snaps)
+    seed.shuffle(shuffled)
+    assert merge_snapshots(shuffled) == merge_snapshots(snaps)
+
+
+@given(
+    a=st.lists(_snapshot(), min_size=0, max_size=3),
+    b=st.lists(_snapshot(), min_size=0, max_size=3),
+    c=st.lists(_snapshot(), min_size=0, max_size=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_merge_is_associative(a, b, c):
+    """Hierarchical rollup == flat rollup: merge(merge(a+b), c) ==
+    merge(a, merge(b+c)) == merge(a+b+c)."""
+    flat = merge_snapshots(a + b + c)
+    left = merge_snapshots([merge_snapshots(a + b)] + c)
+    right = merge_snapshots(a + [merge_snapshots(b + c)])
+    assert left == flat
+    assert right == flat
+
+
+@given(snaps=st.lists(_snapshot(), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_empty_snapshot_is_identity(snaps):
+    empty = {"counters": {}, "gauges": {}, "histograms": {}}
+    assert merge_snapshots(snaps + [empty]) == merge_snapshots(snaps)
+    assert merge_snapshots([empty] + snaps) == merge_snapshots(snaps)
+
+
+def test_merge_of_nothing_is_empty():
+    assert merge_snapshots([]) == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_mismatched_buckets_are_counted_not_silently_lost():
+    a = {
+        "histograms": {
+            "h": {"buckets": [1.0], "counts": [1, 2], "count": 3, "sum": 4,
+                  "min": 1, "max": 2}
+        }
+    }
+    b = {
+        "histograms": {
+            "h": {"buckets": [2.0], "counts": [5, 6], "count": 11, "sum": 7,
+                  "min": 5, "max": 6}
+        }
+    }
+    merged = merge_snapshots([a, b])
+    assert merged["_dropped"] == 1
+    assert merged["histograms"]["h"]["buckets"] == [1.0]

@@ -159,21 +159,33 @@ class TestInjectedDataPlaneBug:
 class TestEventCausality:
     def test_clock_regression_caught(self):
         auditor = InvariantAuditor(strict=False)
-        auditor.on_event(10, 0)
-        auditor.on_event(5, 1)
+        auditor.on_event(10, 0, 0)
+        auditor.on_event(5, 0, 1)
         assert any("backwards" in v for v in auditor.violations)
 
     def test_fifo_tie_break_violation_caught(self):
         auditor = InvariantAuditor(strict=False)
-        auditor.on_event(10, 5)
-        auditor.on_event(10, 4)
+        auditor.on_event(10, 0, 5)
+        auditor.on_event(10, 0, 4)
         assert any("FIFO" in v for v in auditor.violations)
+
+    def test_priority_tie_break_violation_caught(self):
+        auditor = InvariantAuditor(strict=False)
+        auditor.on_event(10, 7, 4)
+        auditor.on_event(10, 3, 5)
+        assert any("FIFO" in v for v in auditor.violations)
+
+    def test_priority_orders_before_sequence(self):
+        auditor = InvariantAuditor(strict=True)
+        auditor.on_event(10, 3, 9)
+        auditor.on_event(10, 7, 2)  # higher priority may carry a lower seq
+        assert auditor.report().ok
 
     def test_ordered_events_pass(self):
         auditor = InvariantAuditor(strict=True)
-        auditor.on_event(10, 0)
-        auditor.on_event(10, 1)
-        auditor.on_event(12, 2)
+        auditor.on_event(10, 0, 0)
+        auditor.on_event(10, 0, 1)
+        auditor.on_event(12, 0, 2)
         assert auditor.report().ok
 
 
@@ -206,6 +218,6 @@ class TestFlowMonotonicity:
         auditor = InvariantAuditor(strict=True)
         auditor.enabled = False
         auditor.on_flow_progress(self._Flow(1, 1000, 5, start_ns=10), 20)
-        auditor.on_event(10, 5)
-        auditor.on_event(5, 4)
+        auditor.on_event(10, 0, 5)
+        auditor.on_event(5, 0, 4)
         assert auditor.report().ok
