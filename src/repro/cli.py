@@ -11,6 +11,8 @@ Commands:
 * ``claims``    — check the paper's headline numeric claims.
 * ``sweep``     — run an evaluation campaign (parallel, cached, resumable).
 * ``figures``   — run a figure campaign and emit its results tables.
+* ``fuzz``      — coverage-guided scenario fuzzing: ``run`` the search,
+  ``replay`` the regression corpus, ``shrink`` a reproducer.
 
 The CLI is a thin veneer over the library; every command maps to a few
 lines of public API (printed with ``--show-code`` for discoverability).
@@ -413,6 +415,112 @@ def cmd_sweep(args) -> int:
     return _SWEEP_EXIT_CODES[result.status]
 
 
+def cmd_fuzz_run(args) -> int:
+    from .fuzz import CoverageMap, FuzzConfig, run_fuzz  # noqa: F401
+
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        batch_size=args.batch_size,
+        corpus_dir=args.corpus_dir,
+        differential=not args.no_differential,
+        workers=args.workers,
+    )
+    report = run_fuzz(config, progress=print)
+    if args.coverage_out:
+        report.coverage.save(args.coverage_out)
+        print(f"coverage map written to {args.coverage_out}")
+    import json as _json
+
+    print(_json.dumps(report.summary(), indent=2, sort_keys=True))
+    if report.found_failures:
+        print(
+            f"{len(report.failures)} failing scenario(s) found; "
+            f"shrunk reproducers in {args.corpus_dir}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_fuzz_replay(args) -> int:
+    from .fuzz import Corpus, replay_entry
+
+    corpus = Corpus(args.corpus_dir)
+    entries = corpus.entries()
+    if args.entry:
+        wanted = set(args.entry)
+        entries = [e for e in entries if any(e.entry_id.startswith(w) for w in wanted)]
+        if not entries:
+            print(f"no corpus entry matches {sorted(wanted)}", file=sys.stderr)
+            return 2
+    if not entries:
+        print(f"corpus {corpus.root} is empty; nothing to replay")
+        return 0
+    failing = 0
+    for entry in entries:
+        verdicts = replay_entry(entry)
+        bad = [v for v in verdicts if not v.ok]
+        status = "FAIL" if bad else "ok"
+        print(f"{entry.entry_id}  {entry.scenario.name:20s} {status}")
+        for v in bad:
+            failing += 1
+            for detail in v.details:
+                print(f"    {v.oracle}: {detail}")
+    return 1 if failing else 0
+
+
+def cmd_fuzz_shrink(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .experiments import Scenario
+    from .fuzz import Corpus, CorpusEntry, FuzzConfig
+    from .fuzz.fuzzer import _evaluate, _failing_set
+    from .fuzz.shrink import shrink_scenario
+
+    corpus = Corpus(args.corpus_dir)
+    entry = corpus.find(args.target)
+    if entry is not None:
+        scenario = entry.scenario
+    elif Path(args.target).is_file():
+        scenario = Scenario.from_json(Path(args.target).read_text(encoding="utf-8"))
+    else:
+        print(f"{args.target!r}: not a corpus entry id or spec file", file=sys.stderr)
+        return 2
+    config = FuzzConfig(seed=args.seed)
+    verdicts, signature, _result = _evaluate(scenario, config.seed, True, config.shards)
+    failing = _failing_set(verdicts)
+    if not failing:
+        print(f"{scenario.name}: all oracles pass; nothing to shrink")
+        return 0
+    print(f"{scenario.name}: failing oracles {sorted(failing)}; shrinking")
+
+    def still_fails(candidate):
+        cand_verdicts, _s, _r = _evaluate(candidate, config.seed, True, config.shards)
+        return _failing_set(cand_verdicts) == failing
+
+    shrunk = shrink_scenario(scenario, still_fails, max_evals=args.max_evals)
+    final_verdicts, final_signature, _r = _evaluate(
+        shrunk.scenario, config.seed, True, config.shards
+    )
+    new_entry = CorpusEntry(
+        scenario=shrunk.scenario,
+        verdicts=final_verdicts,
+        signature=final_signature,
+        found_from=scenario.fingerprint(),
+        shrink_steps=tuple(shrunk.steps),
+        root_seed=config.seed,
+    )
+    path = corpus.add(new_entry)
+    print(
+        f"shrunk in {len(shrunk.steps)} step(s) "
+        f"({shrunk.evals} evaluations); written to {path}"
+    )
+    print(_json.dumps(new_entry.scenario.to_dict(), indent=2, sort_keys=True))
+    return 1
+
+
 def cmd_figures(args) -> int:
     from pathlib import Path
 
@@ -558,6 +666,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_figures.add_argument("--results-dir", default="benchmarks/results",
                            help="where to write the *.txt tables")
     p_figures.set_defaults(func=cmd_figures)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided scenario fuzzing (run / replay / shrink)",
+    )
+    fuzz_sub = p_fuzz.add_subparsers(dest="fuzz_cmd", required=True)
+
+    p_frun = fuzz_sub.add_parser(
+        "run", help="fuzz the stack: generate, execute, cover, shrink"
+    )
+    p_frun.add_argument("--budget", type=int, default=100,
+                        help="scenarios to execute (default 100)")
+    p_frun.add_argument("--seed", type=int, default=0, help="root fuzzing seed")
+    p_frun.add_argument("--batch-size", type=int, default=10)
+    p_frun.add_argument("--corpus-dir", default="tests/corpus",
+                        help="where shrunk failures are persisted")
+    p_frun.add_argument("--coverage-out", default=None,
+                        help="write the coverage map JSON here")
+    p_frun.add_argument("--no-differential", action="store_true",
+                        help="skip the sharded-vs-serial oracle")
+    p_frun.add_argument("--workers", type=int, default=1,
+                        help="campaign executor workers")
+    p_frun.set_defaults(func=cmd_fuzz_run)
+
+    p_freplay = fuzz_sub.add_parser(
+        "replay", help="re-run corpus entries and re-judge every oracle"
+    )
+    p_freplay.add_argument("entry", nargs="*",
+                           help="entry id prefixes (default: whole corpus)")
+    p_freplay.add_argument("--corpus-dir", default="tests/corpus")
+    p_freplay.set_defaults(func=cmd_fuzz_replay)
+
+    p_fshrink = fuzz_sub.add_parser(
+        "shrink", help="(re-)shrink a corpus entry or scenario spec file"
+    )
+    p_fshrink.add_argument("target",
+                           help="corpus entry id prefix or scenario JSON path")
+    p_fshrink.add_argument("--corpus-dir", default="tests/corpus")
+    p_fshrink.add_argument("--seed", type=int, default=0)
+    p_fshrink.add_argument("--max-evals", type=int, default=80)
+    p_fshrink.set_defaults(func=cmd_fuzz_shrink)
 
     return parser
 

@@ -78,11 +78,15 @@ def validate_sharded_config(config: SimConfig, telemetry_config=None) -> None:
 
     These are structural, not incidental: the shared control plane updates
     one global table at sender-emit time (zero lookahead), PFQ's
-    coordinator applies instantaneous cross-node backpressure, wire-loss
-    fault injection draws from one RNG shared by every port (splitting it
-    changes the stream), and the invariant auditor checks global
-    event-loop/causality invariants.  Each has an exact-per-shard or
-    serial alternative, named in the error.
+    coordinator applies instantaneous cross-node backpressure, and trace
+    telemetry is a per-process event stream with no exact merge.  Each has
+    an exact-per-shard or serial alternative, named in the error.
+
+    Wire loss (``loss_rate > 0``) and auditing (``audit=True``) are
+    simulation semantics, not executor policy, and *do* shard: loss draws
+    come from per-port RNG streams keyed by link identity, and each shard
+    runs its own auditor whose report the coordinator merges
+    (:func:`repro.validation.auditor.merge_audit_reports`).
     """
     if config.stack == "pfq":
         raise SimulationError(
@@ -96,19 +100,6 @@ def validate_sharded_config(config: SimConfig, telemetry_config=None) -> None:
             "control plane updates one rack-wide table at sender-emit time, "
             "which has zero lookahead across shards; per-node controllers "
             "are updated by actual broadcast deliveries and shard exactly"
-        )
-    if config.loss_rate > 0:
-        raise SimulationError(
-            "sharded execution does not support loss_rate > 0: all ports "
-            "share one wire-loss RNG stream, which cannot be split across "
-            "shards without changing the draw sequence; run lossy "
-            "configurations serially"
-        )
-    if config.audit:
-        raise SimulationError(
-            "sharded execution does not support audit=True: the invariant "
-            "auditor checks global event ordering; audit a serial run of "
-            "the same seed instead (results are byte-identical)"
         )
     if telemetry_config is not None and telemetry_config.trace:
         raise SimulationError(
@@ -296,6 +287,16 @@ def _merge_results(
         metrics.recompute_overheads = [s.cpu_overhead for s in stats]
         metrics.epochs_skipped = sum(1 for s in stats if s.skipped)
         metrics.epochs_recomputed = len(stats) - metrics.epochs_skipped
+
+    if config.audit:
+        from ..validation.auditor import merge_audit_reports
+
+        metrics.audit = merge_audit_reports(
+            [s["audit"] for s in shard_results],
+            flows=metrics.flows,
+            drained=all(s["drained"] for s in shard_results),
+            strict=config.audit_strict,
+        )
 
     shard_snapshots = [s["telemetry"] for s in shard_results]
     if any(snapshot for snapshot in shard_snapshots):

@@ -36,7 +36,9 @@ from ..telemetry.registry import merge_snapshots
 from ..workloads.generator import FlowArrival
 
 #: SimFlow fields written only by the sender-side stack (``flow.src``).
-SENDER_FIELDS = ("bytes_sent", "next_seq", "sender_done_ns")
+#: ``total_segments`` is sender-side: the reliable transport writes it at
+#: ``start_flow`` (the receiver derives its own count locally).
+SENDER_FIELDS = ("bytes_sent", "next_seq", "sender_done_ns", "total_segments")
 
 #: SimFlow fields written only by the receiver-side stack (``flow.dst``).
 RECEIVER_FIELDS = (
@@ -46,7 +48,6 @@ RECEIVER_FIELDS = (
     "reorder_buffer",
     "max_reorder_buffer",
     "received_seqs",
-    "total_segments",
 )
 
 #: Gauges whose merged value is executor-dependent (see module docstring);
@@ -235,12 +236,33 @@ def canonical_metrics(metrics: SimMetrics) -> dict:
     }
 
 
+def _canonical_histogram(hist: dict) -> dict:
+    """Round a histogram's float aggregates to reassociation precision.
+
+    Bucket counts — the histogram proper — are integral and compare
+    exactly.  The ``sum`` aggregate of a float-valued histogram (e.g.
+    ``link.utilization``) is merged by adding K per-shard partial sums,
+    which regroups the serial run's addition order; IEEE addition is not
+    associative, so the merged sum can differ in the last ulp.  Ten
+    significant digits is far below any quantity the analyses read and far
+    above reassociation noise.
+    """
+    out = dict(hist)
+    for key in ("sum", "min", "max"):
+        value = out.get(key)
+        if isinstance(value, float):
+            out[key] = float(f"{value:.10g}")
+    return out
+
+
 def comparable_snapshot(snapshot: Optional[dict]) -> Optional[dict]:
     """Project a telemetry snapshot onto its executor-independent parts.
 
-    Counters and histograms compare exactly.  Time series are per-session
-    recordings that :func:`repro.telemetry.merge_snapshots` does not merge,
-    and two gauges are last-writer/scheduler artifacts (see
+    Counters and histogram bucket counts compare exactly (float histogram
+    aggregates at reassociation precision — see
+    :func:`_canonical_histogram`).  Time series are per-session recordings
+    that :func:`repro.telemetry.merge_snapshots` does not merge, and two
+    gauges are last-writer/scheduler artifacts (see
     :data:`EXECUTOR_DEPENDENT_GAUGES`); those are dropped.
     """
     if snapshot is None:
@@ -252,5 +274,8 @@ def comparable_snapshot(snapshot: Optional[dict]) -> Optional[dict]:
             for name, value in snapshot.get("gauges", {}).items()
             if name not in EXECUTOR_DEPENDENT_GAUGES
         },
-        "histograms": snapshot.get("histograms", {}),
+        "histograms": {
+            name: _canonical_histogram(hist)
+            for name, hist in snapshot.get("histograms", {}).items()
+        },
     }

@@ -87,6 +87,21 @@ class ShardSim:
                 )
             )
 
+        self.auditor = None
+        if config.audit:
+            # Same wiring as the serial runner: the auditor observes this
+            # shard's event loop, network slice and stacks.  The transit
+            # (propagated == arrived) check is deferred to the coordinator,
+            # which sums the per-shard counters (a cut port's packets arrive
+            # in *another* shard's auditor); likewise the final per-flow
+            # audit runs once over the merged flow states.
+            from ..validation import InvariantAuditor
+
+            self.auditor = InvariantAuditor(
+                strict=config.audit_strict, telemetry=self.telemetry
+            )
+            self.auditor.attach_loop(self.loop)
+
         owned_sorted = sorted(self.owned)
         if config.stack == "r2c2":
             self.network, self.control = _build_r2c2(
@@ -96,7 +111,7 @@ class ShardSim:
                 self.metrics,
                 config,
                 provider=None,
-                auditor=None,
+                auditor=self.auditor,
                 telemetry=self.telemetry,
                 owned_nodes=owned_sorted,
                 boundary=self._boundary,
@@ -112,7 +127,7 @@ class ShardSim:
                 self.flows,
                 self.metrics,
                 config,
-                auditor=None,
+                auditor=self.auditor,
                 owned_nodes=owned_sorted,
                 boundary=self._boundary,
             )
@@ -121,6 +136,12 @@ class ShardSim:
             raise SimulationError(
                 f"stack {config.stack!r} does not support sharded execution"
             )
+        if self.auditor is not None:
+            for stack in self.network.stack_at:
+                if stack is not None:
+                    stack.auditor = self.auditor
+            if self.control is not None:
+                self.control.auditor = self.auditor
 
         self.probes = None
         if self.telemetry is not None and self.telemetry.enabled:
@@ -216,6 +237,13 @@ class ShardSim:
         recompute: Dict[int, list] = {}
         if self.control is not None:
             recompute = self.control.recompute_stats_by_node()
+        drained = self.loop.pending() == 0
+        audit = None
+        if self.auditor is not None:
+            # Per-shard end-of-run checks; the transit and final per-flow
+            # checks belong to the coordinator (merge_audit_reports).
+            self.auditor.check_conservation(drained=drained, check_transit=False)
+            audit = self.auditor.report()
         reservoir = self.metrics.packet_latency
         return {
             "shard_id": self.shard_id,
@@ -241,6 +269,8 @@ class ShardSim:
                 "samples": list(reservoir._samples),
             },
             "recompute": recompute,
+            "drained": drained,
+            "audit": audit,
             "telemetry": (
                 self.telemetry.metrics.snapshot()
                 if self.telemetry is not None and self.telemetry.enabled

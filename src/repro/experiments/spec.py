@@ -30,8 +30,14 @@ __all__ = ["CACHE_SCHEMA_VERSION", "Scenario", "Campaign", "Task"]
 #: event loop gained deterministic content-based tie-breaking for
 #: same-instant packet deliveries (the invariant behind sharded execution),
 #: which perturbs simulation results for the same seeds; sim-task telemetry
-#: rollups also dropped the executor-dependent gauges.
-CACHE_SCHEMA_VERSION = 2
+#: rollups also dropped the executor-dependent gauges.  Version 3: wire-loss
+#: fault injection moved from one RNG shared by every port to per-port
+#: streams keyed by link identity (the invariant behind sharding lossy
+#: configurations), which perturbs lossy-run results for the same seeds;
+#: sim tasks also gained scenario-from-spec hooks (clos topologies, link
+#: latency, failure storms, loss/audit/horizon parameters) and richer
+#: result fields.
+CACHE_SCHEMA_VERSION = 3
 
 #: Task kinds the executor knows how to run (see :mod:`.tasks`).
 TASK_KINDS = ("probe", "routing", "sim", "selection", "crossval")

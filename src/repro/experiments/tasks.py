@@ -34,11 +34,19 @@ class InjectedWorkerFailure(RuntimeError):
 
 
 def _build_topology(task: Task):
-    from ..topology import HypercubeTopology, MeshTopology, TorusTopology
+    from ..topology import (
+        FoldedClosTopology,
+        HypercubeTopology,
+        MeshTopology,
+        TorusTopology,
+    )
 
+    params = task.scenario.params_dict
     kwargs = {}
     if task.scenario.capacity_bps is not None:
         kwargs["capacity_bps"] = task.scenario.capacity_bps
+    if "latency_ns" in params:
+        kwargs["latency_ns"] = int(params["latency_ns"])
     kind = task.scenario.topology
     if kind == "torus":
         return TorusTopology(task.scenario.dims, **kwargs)
@@ -46,7 +54,40 @@ def _build_topology(task: Task):
         return MeshTopology(task.scenario.dims, **kwargs)
     if kind == "hypercube":
         return HypercubeTopology(task.scenario.dims[0], **kwargs)
+    if kind == "clos":
+        # dims = (n_hosts,); the switch radix rides in params.
+        return FoldedClosTopology(
+            n_hosts=task.scenario.dims[0],
+            radix=int(params.get("radix", 8)),
+            **kwargs,
+        )
     raise ExperimentError(f"task {task.key}: unknown topology {kind!r}")
+
+
+def _apply_failure_storm(task: Task, topology):
+    """Degrade *topology* by failing ``fail_links`` seeded links.
+
+    Returns ``(topology_view, failed_links)``; the sample is redrawn until
+    the degraded fabric stays strongly connected, so every generated flow
+    remains routable (partitions are a different failure class).  Failures
+    are symmetric — a storm kills cables, not single transceivers — so
+    reversed-path replies (TCP and reliable-transport ACKs) stay routable
+    too.
+    """
+    params = task.scenario.params_dict
+    k_links = int(params.get("fail_links", 0))
+    if k_links <= 0:
+        return topology, []
+    from ..core.seeds import derive_seed
+    from ..validation import FaultInjector
+
+    injector = FaultInjector(
+        seed=derive_seed(int(params.get("fail_seed", task.seed)), "fault-storm")
+    )
+    degraded, failed = injector.fail_links(
+        topology, k_links, require_connected=True, symmetric=True
+    )
+    return degraded, failed
 
 
 # ----------------------------------------------------------------------
@@ -94,32 +135,31 @@ def _run_routing(task: Task) -> Dict[str, Any]:
     }
 
 
-def _make_trace(task: Task, topology):
-    from ..workloads import (
-        FixedSize,
-        ParetoSizes,
-        permutation_load_trace,
-        poisson_trace,
+def _make_sizes(params: Mapping[str, Any]):
+    from ..workloads import FixedSize, ParetoSizes
+
+    size_kind = params.get("sizes", "pareto")
+    if size_kind == "fixed":
+        return FixedSize(int(params.get("flow_bytes", 1_000_000)))
+    return ParetoSizes(
+        mean_bytes=int(params.get("mean_bytes", 100 * 1024)),
+        shape=float(params.get("shape", 1.05)),
+        cap_bytes=int(params.get("cap_bytes", 20_000_000)),
     )
+
+
+def _make_trace(task: Task, topology):
+    from ..workloads import permutation_load_trace, poisson_trace
 
     params = task.scenario.params_dict
     workload = params.get("workload", "poisson")
     trace_seed = int(params.get("trace_seed", task.seed))
     if workload == "poisson":
-        size_kind = params.get("sizes", "pareto")
-        if size_kind == "fixed":
-            sizes = FixedSize(int(params.get("flow_bytes", 1_000_000)))
-        else:
-            sizes = ParetoSizes(
-                mean_bytes=int(params.get("mean_bytes", 100 * 1024)),
-                shape=float(params.get("shape", 1.05)),
-                cap_bytes=int(params.get("cap_bytes", 20_000_000)),
-            )
         return poisson_trace(
             topology,
             int(params.get("n_flows", 100)),
             float(params.get("tau_ns", 5_000)),
-            sizes=sizes,
+            sizes=_make_sizes(params),
             seed=trace_seed,
         )
     if workload == "permutation":
@@ -128,6 +168,39 @@ def _make_trace(task: Task, topology):
             float(params.get("load", 0.25)),
             seed=trace_seed,
         )
+    if workload == "hostpairs":
+        # Random host-to-host pairs with geometric-ish start gaps.  On a
+        # clos fabric only hosts terminate traffic (switches neither send
+        # nor receive); on direct-connect fabrics every node is a host.
+        import random
+
+        from ..core.seeds import derive_seed
+        from ..workloads.generator import FlowArrival
+
+        rng = random.Random(derive_seed(trace_seed, "hostpairs"))
+        sizes = _make_sizes(params)
+        n_hosts = getattr(topology, "n_hosts", topology.n_nodes)
+        if n_hosts < 2:
+            raise ExperimentError(f"task {task.key}: hostpairs needs >= 2 hosts")
+        gap_ns = max(1, int(params.get("tau_ns", 5_000)))
+        trace = []
+        start_ns = 0
+        for flow_id in range(int(params.get("n_flows", 100))):
+            src = rng.randrange(n_hosts)
+            dst = rng.randrange(n_hosts - 1)
+            if dst >= src:
+                dst += 1
+            trace.append(
+                FlowArrival(
+                    flow_id=flow_id,
+                    src=src,
+                    dst=dst,
+                    size_bytes=sizes.sample(rng),
+                    start_ns=start_ns,
+                )
+            )
+            start_ns += rng.randrange(1, 2 * gap_ns)
+        return trace
     raise ExperimentError(f"task {task.key}: unknown workload {workload!r}")
 
 
@@ -137,12 +210,25 @@ def _run_sim(task: Task) -> Dict[str, Any]:
 
     params = task.scenario.params_dict
     topology = _build_topology(task)
+    topology, failed_links = _apply_failure_storm(task, topology)
     trace = _make_trace(task, topology)
     config = SimConfig(
         stack=params.get("stack", "r2c2"),
         headroom=float(params.get("headroom", 0.05)),
         mtu_payload=int(params.get("mtu_payload", 1500)),
         control_plane=params.get("control_plane", "shared"),
+        reliable=bool(params.get("reliable", False)),
+        loss_rate=float(params.get("loss_rate", 0.0)),
+        queue_limit_bytes=(
+            int(params["queue_limit_bytes"])
+            if params.get("queue_limit_bytes") is not None
+            else None
+        ),
+        horizon_ns=(
+            int(params["horizon_ns"]) if params.get("horizon_ns") is not None else None
+        ),
+        audit=bool(params.get("audit", False)),
+        audit_strict=bool(params.get("audit_strict", False)),
         seed=int(params.get("sim_seed", task.seed)),
     )
     telemetry_config = TelemetryConfig(
@@ -180,8 +266,24 @@ def _run_sim(task: Task) -> Dict[str, Any]:
         "short_fcts_us": sorted(metrics.short_fcts_us()),
         "long_tputs_gbps": sorted(metrics.long_throughputs_gbps()),
         "queue_occupancy_bytes": sorted(metrics.max_queue_occupancy_bytes),
+        "wire_losses": metrics.wire_losses,
+        "reorder_max": max(
+            (f.max_reorder_buffer for f in metrics.flows), default=0
+        ),
         "telemetry": _rollup_snapshot(snapshot),
     }
+    if failed_links:
+        result["failed_links"] = [list(link) for link in failed_links]
+    if config.audit:
+        # Run-level verdict only: counters like the audited event count are
+        # executor accounting, and violation *order* can differ between a
+        # serial run and the shard-order concatenation, so the rollup keeps
+        # the executor-independent surface (sorted unique messages).
+        report = metrics.audit
+        result["audit"] = {
+            "ok": report is not None and report.ok,
+            "violations": sorted(set(report.violations)) if report else [],
+        }
     return result
 
 

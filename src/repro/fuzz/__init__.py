@@ -1,0 +1,62 @@
+"""Coverage-guided scenario fuzzing for the whole stack.
+
+The differential oracles and the invariant auditor can already judge any
+single run; this package supplies the *search* that feeds them inputs
+worth judging.  From one root seed it randomizes everything an
+experiment :class:`~repro.experiments.Scenario` can express — topology
+family and size, link latency and capacity, workload shape, failure
+storms, wire loss, queue limits, stack and control-plane choice — and
+executes batches through the campaign runner with the auditor attached.
+Telemetry signatures (:func:`repro.telemetry.sim_signature`) quantize
+each run's behavior into a coverage key; scenarios that reach new
+behavior are kept and mutated, failures are greedily shrunk to minimal
+reproducers and persisted content-addressed in ``tests/corpus/``, which
+``pytest -m fuzz_corpus`` replays forever after.
+
+Pieces (each its own module, usable standalone):
+
+* :mod:`.generator` — seed -> valid scenario, and the genome/assembly
+  chokepoint that keeps every fuzzer-built spec runnable;
+* :mod:`.mutate` — axis-wise mutation through the same chokepoint;
+* :mod:`.coverage` — the deterministic signature coverage map;
+* :mod:`.shrink` — greedy dimension-wise minimization of failures;
+* :mod:`.corpus` — the content-addressed regression corpus;
+* :mod:`.fuzzer` — the loop tying it together (``repro fuzz run``).
+
+Everything is deterministic by construction: same root seed and budget
+means byte-identical coverage maps and corpus contents, so CI fuzzing is
+reproducible and corpus diffs are reviewable.
+"""
+
+from .corpus import DEFAULT_CORPUS_DIR, Corpus, CorpusEntry
+from .coverage import CoverageMap, Signature
+from .fuzzer import FuzzConfig, FuzzReport, replay_entry, run_fuzz
+from .generator import (
+    SAFETY_HORIZON_NS,
+    assemble,
+    generate_scenario,
+    genome_of,
+    sharding_eligible,
+)
+from .mutate import mutate_scenario
+from .shrink import ShrinkResult, shrink_scenario
+
+__all__ = [
+    "assemble",
+    "Corpus",
+    "CorpusEntry",
+    "CoverageMap",
+    "DEFAULT_CORPUS_DIR",
+    "FuzzConfig",
+    "FuzzReport",
+    "generate_scenario",
+    "genome_of",
+    "mutate_scenario",
+    "replay_entry",
+    "run_fuzz",
+    "SAFETY_HORIZON_NS",
+    "sharding_eligible",
+    "ShrinkResult",
+    "shrink_scenario",
+    "Signature",
+]

@@ -1,0 +1,126 @@
+"""The persistent regression corpus: shrunk reproducers, content-addressed.
+
+Every fuzzer-found failure ends up here as one JSON file named by (a
+prefix of) the shrunk scenario's content fingerprint, so re-finding the
+same minimal reproducer is idempotent and two runs that found the same
+bugs produce byte-identical corpus directories.  Entries carry everything
+needed to re-run and triage without the fuzzer: the scenario spec, the
+failing oracle verdicts as observed, the behavioral signature, the
+original (pre-shrink) scenario fingerprint and the shrink trail.
+
+The repo keeps its corpus in ``tests/corpus/``; ``pytest -m fuzz_corpus``
+replays every entry there, asserting all oracles pass — i.e. once a bug
+is fixed, the corpus pins it fixed.  Entries deliberately contain no
+timestamps or host details (determinism, and diff-friendly reviews).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..core.ioutil import atomic_write_json
+from ..errors import ExperimentError
+from ..experiments import Scenario
+from ..validation.verdicts import OracleVerdict
+
+__all__ = ["CorpusEntry", "Corpus", "DEFAULT_CORPUS_DIR"]
+
+#: The checked-in corpus location (relative to the repo root).
+DEFAULT_CORPUS_DIR = Path("tests") / "corpus"
+
+#: Filename prefix length taken from the scenario fingerprint (64 hex
+#: chars total; 16 is plenty against accidental collision and keeps
+#: directory listings readable).
+_ID_LEN = 16
+
+
+@dataclass
+class CorpusEntry:
+    """One minimized failing scenario plus its triage context."""
+
+    scenario: Scenario
+    #: Verdicts observed when the (shrunk) scenario last failed.
+    verdicts: List[OracleVerdict] = field(default_factory=list)
+    #: Behavioral signature at failure time ([[name, bucket], ...]).
+    signature: Sequence[Sequence[Any]] = ()
+    #: Fingerprint of the scenario as originally found (pre-shrink).
+    found_from: str = ""
+    #: Accepted shrink-move labels, in order.
+    shrink_steps: Sequence[str] = ()
+    #: Root fuzzer seed that found it (0 for hand-added entries).
+    root_seed: int = 0
+
+    @property
+    def entry_id(self) -> str:
+        return self.scenario.fingerprint()[:_ID_LEN]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": 1,
+            "scenario": self.scenario.to_dict(),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "signature": [[str(n), int(b)] for n, b in self.signature],
+            "found_from": self.found_from,
+            "shrink_steps": list(self.shrink_steps),
+            "root_seed": self.root_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CorpusEntry":
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            verdicts=[OracleVerdict.from_dict(v) for v in data.get("verdicts", ())],
+            signature=tuple(
+                (str(n), int(b)) for n, b in data.get("signature", ())
+            ),
+            found_from=data.get("found_from", ""),
+            shrink_steps=tuple(data.get("shrink_steps", ())),
+            root_seed=int(data.get("root_seed", 0)),
+        )
+
+
+class Corpus:
+    """A directory of :class:`CorpusEntry` files, addressed by content."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CORPUS_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, entry: CorpusEntry) -> Path:
+        return self.root / f"{entry.entry_id}.json"
+
+    def add(self, entry: CorpusEntry) -> Path:
+        """Persist *entry* (atomic, idempotent); returns its path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(entry)
+        atomic_write_json(path, entry.to_dict())
+        return path
+
+    def load(self, path: Union[str, Path]) -> CorpusEntry:
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ExperimentError(f"corpus entry {path} unreadable: {exc}") from exc
+        return CorpusEntry.from_dict(data)
+
+    def paths(self) -> List[Path]:
+        """Entry files, sorted by name (deterministic iteration order)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def entries(self) -> List[CorpusEntry]:
+        return [self.load(p) for p in self.paths()]
+
+    def find(self, entry_id: str) -> Optional[CorpusEntry]:
+        """Look up an entry by id (or any unique prefix of one)."""
+        matches = [p for p in self.paths() if p.stem.startswith(entry_id)]
+        if len(matches) != 1:
+            return None
+        return self.load(matches[0])
+
+    def __len__(self) -> int:
+        return len(self.paths())

@@ -1,0 +1,86 @@
+"""The coverage map: which behavioral signatures has the fuzzer seen?
+
+"Coverage" here is behavioral, not line-based: each executed scenario is
+compressed by :func:`repro.telemetry.sim_signature` into a small tuple of
+quantized features (queue-depth bucket, reorder bucket, drop/loss buckets,
+recompute-epoch bucket, ...), and the map records every distinct tuple.  A
+scenario whose signature is *new* drove the stack somewhere no earlier
+scenario did — those are the seeds worth mutating.
+
+The map serializes to deterministic JSON (sorted signatures, sorted
+feature pairs, no timestamps), so two fuzzing runs from the same root seed
+produce byte-identical coverage files — the determinism contract the CLI
+and CI lean on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
+
+Signature = Tuple[Tuple[str, int], ...]
+
+__all__ = ["CoverageMap", "Signature"]
+
+
+class CoverageMap:
+    """Set of observed behavioral signatures with hit counts."""
+
+    def __init__(self) -> None:
+        self._hits: Dict[Signature, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._hits)
+
+    def __contains__(self, signature: Signature) -> bool:
+        return tuple(signature) in self._hits
+
+    def observe(self, signature: Signature) -> bool:
+        """Record *signature*; True when it is new coverage."""
+        key = tuple((str(n), int(b)) for n, b in signature)
+        new = key not in self._hits
+        self._hits[key] = self._hits.get(key, 0) + 1
+        return new
+
+    def hits(self, signature: Signature) -> int:
+        return self._hits.get(tuple(signature), 0)
+
+    def signatures(self) -> List[Signature]:
+        """All observed signatures, sorted (deterministic order)."""
+        return sorted(self._hits)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "signatures": [
+                {"features": [[n, b] for n, b in sig], "hits": self._hits[sig]}
+                for sig in self.signatures()
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CoverageMap":
+        cov = cls()
+        for entry in data.get("signatures", ()):
+            sig = tuple((str(n), int(b)) for n, b in entry["features"])
+            cov._hits[sig] = int(entry.get("hits", 1))
+        return cov
+
+    def to_json(self) -> str:
+        """Canonical JSON: byte-identical for equal maps."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CoverageMap":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def merge(self, other: "CoverageMap") -> None:
+        """Fold *other*'s observations into this map."""
+        for sig, hits in other._hits.items():
+            self._hits[sig] = self._hits.get(sig, 0) + hits

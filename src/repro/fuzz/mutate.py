@@ -1,0 +1,32 @@
+"""Scenario mutation: perturb one or two axes of an interesting scenario.
+
+Mutation re-draws whole axes from the generator's own choice tables and
+re-assembles through :func:`repro.fuzz.generator.assemble`, so a mutant is
+valid for exactly the same reason a freshly generated scenario is — there
+is no separate "fix up the mutant" path to drift out of sync.  The axis
+selection and the re-draws all come from one ``random.Random`` seeded by
+the caller, so the mutant is a pure function of (parent spec, seed, name).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..experiments import Scenario
+from .generator import AXES, assemble, genome_of
+
+__all__ = ["mutate_scenario"]
+
+
+def mutate_scenario(scenario: Scenario, seed: int, name: str) -> Scenario:
+    """Return a valid mutant of *scenario* named *name*.
+
+    Re-draws one axis (sometimes two — coupled moves like "new fabric
+    *and* new workload" escape local minima) of the parent's genome.
+    """
+    rng = random.Random(seed)
+    genome = genome_of(scenario)
+    n_axes = 2 if rng.random() < 0.3 else 1
+    for draw in rng.sample(AXES, n_axes):
+        draw(rng, genome)
+    return assemble(genome, name)

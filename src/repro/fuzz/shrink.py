@@ -1,0 +1,209 @@
+"""Greedy dimension-wise shrinking of failing scenarios.
+
+A fuzzer-found failure is only useful if a human can stare at it, so
+every failure is minimized before it reaches the corpus: fewer nodes,
+fewer flows, smaller flows, no failure storm, no wire loss, no queue
+limit, a shorter horizon, default link parameters.  Each *move* proposes
+strictly simpler variants of the current reproducer (via the generator's
+genome representation, so candidates are valid by construction) and is
+accepted only when the caller's predicate confirms the candidate still
+fails **the same way**; the loop repeats to a fixpoint.
+
+Moves try their simplest candidate first (classic delta debugging: big
+jumps before small ones), and the whole procedure is deterministic — no
+randomness, fixed move order — so shrinking the same failure twice yields
+the same minimal reproducer.  Behavior stability across candidates comes
+from the generator pinning explicit ``sim_seed`` / ``trace_seed`` params:
+removing the storm does not reshuffle the traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from ..experiments import Scenario
+from .generator import SAFETY_HORIZON_NS, assemble, genome_of
+
+__all__ = ["ShrinkResult", "shrink_scenario"]
+
+Genome = Dict[str, object]
+Candidate = Tuple[str, Genome]
+
+#: Grid shapes ordered by node count — the "fewer nodes" ladder.
+_GRID_LADDER: Tuple[Tuple[int, ...], ...] = (
+    (2, 2),
+    (2, 3),
+    (2, 2, 2),
+    (3, 3),
+    (2, 2, 3),
+    (3, 4),
+    (4, 4),
+)
+_CLOS_LADDER: Tuple[Tuple[int, int], ...] = ((4, 4), (6, 4), (8, 4), (8, 8), (12, 8))
+
+
+def _nodes(genome: Genome) -> int:
+    n = 1
+    for d in genome["dims"]:  # type: ignore[union-attr]
+        n *= int(d)
+    return n
+
+
+# ----------------------------------------------------------------------
+# Moves: each yields (label, candidate genome), simplest first
+# ----------------------------------------------------------------------
+def _move_fabric(genome: Genome) -> Iterator[Candidate]:
+    if genome["topology"] == "clos":
+        current = (int(genome["dims"][0]), int(genome["radix"]))  # type: ignore[index]
+        for n_hosts, radix in _CLOS_LADDER:
+            if (n_hosts, radix) >= current:
+                break
+            g = dict(genome)
+            g["dims"], g["radix"] = (n_hosts,), radix
+            yield f"clos {n_hosts}h/r{radix}", g
+        return
+    current_nodes = _nodes(genome)
+    for dims in _GRID_LADDER:
+        size = 1
+        for d in dims:
+            size *= d
+        if size >= current_nodes:
+            break
+        g = dict(genome)
+        g["dims"] = dims
+        yield f"{genome['topology']} {'x'.join(map(str, dims))}", g
+
+
+def _move_flows(genome: Genome) -> Iterator[Candidate]:
+    n = int(genome["n_flows"])
+    for candidate in (1, n // 2, n - 1):
+        if 1 <= candidate < n:
+            g = dict(genome)
+            g["n_flows"] = candidate
+            yield f"{candidate} flow(s)", g
+
+
+def _move_sizes(genome: Genome) -> Iterator[Candidate]:
+    if genome["sizes"] == "pareto":
+        g = dict(genome)
+        g["sizes"] = "fixed"
+        g["flow_bytes"] = int(genome["mean_bytes"])
+        yield "fixed sizes", g
+        return
+    fb = int(genome["flow_bytes"])
+    for candidate in (max(1, fb // 8), fb // 2):
+        if 0 < candidate < fb:
+            g = dict(genome)
+            g["flow_bytes"] = candidate
+            yield f"{candidate} B flows", g
+
+
+def _move_storm(genome: Genome) -> Iterator[Candidate]:
+    if int(genome["fail_links"]) > 0:
+        g = dict(genome)
+        g["fail_links"] = 0
+        yield "no storm", g
+
+
+def _move_loss(genome: Genome) -> Iterator[Candidate]:
+    if float(genome["loss_rate"]) > 0:
+        g = dict(genome)
+        g["loss_rate"] = 0.0
+        yield "no wire loss", g
+
+
+def _move_queue(genome: Genome) -> Iterator[Candidate]:
+    if genome["queue_limit_bytes"] is not None:
+        g = dict(genome)
+        g["queue_limit_bytes"] = None
+        yield "no queue limit", g
+
+
+def _move_horizon(genome: Genome) -> Iterator[Candidate]:
+    horizon = int(genome["horizon_ns"] or SAFETY_HORIZON_NS)
+    for candidate in (100_000, horizon // 4, horizon // 2):
+        if 0 < candidate < horizon:
+            g = dict(genome)
+            g["horizon_ns"] = candidate
+            yield f"horizon {candidate} ns", g
+
+
+def _move_link(genome: Genome) -> Iterator[Candidate]:
+    if genome["latency_ns"] is not None:
+        g = dict(genome)
+        g["latency_ns"] = None
+        yield "default latency", g
+    if genome["capacity_bps"] is not None:
+        g = dict(genome)
+        g["capacity_bps"] = None
+        yield "default capacity", g
+    if int(genome["mtu_payload"]) != 1500:
+        g = dict(genome)
+        g["mtu_payload"] = 1500
+        yield "default MTU", g
+
+
+def _move_control(genome: Genome) -> Iterator[Candidate]:
+    if genome["stack"] == "r2c2" and genome["control_plane"] == "per_node":
+        g = dict(genome)
+        g["control_plane"] = "shared"
+        yield "shared control plane", g
+
+
+#: Fixed move order: structural reductions first, parameter cleanup last.
+_MOVES = (
+    _move_fabric,
+    _move_flows,
+    _move_sizes,
+    _move_storm,
+    _move_loss,
+    _move_queue,
+    _move_horizon,
+    _move_link,
+    _move_control,
+)
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrinking run."""
+
+    scenario: Scenario
+    #: Accepted move labels, in order.
+    steps: List[str] = field(default_factory=list)
+    #: Predicate evaluations spent (accepted + rejected candidates).
+    evals: int = 0
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    still_fails: Callable[[Scenario], bool],
+    max_evals: int = 80,
+) -> ShrinkResult:
+    """Minimize *scenario* while ``still_fails(candidate)`` holds.
+
+    Greedy to a fixpoint: each pass tries every move against the current
+    reproducer and keeps the first accepted candidate per move; the loop
+    ends when a whole pass accepts nothing or *max_evals* predicate calls
+    are spent.  The scenario keeps its name — behavior rides on the
+    pinned seed params, not the label.
+    """
+    result = ShrinkResult(scenario=scenario)
+    genome = genome_of(scenario)
+    improved = True
+    while improved and result.evals < max_evals:
+        improved = False
+        for move in _MOVES:
+            for label, candidate_genome in move(genome):
+                if result.evals >= max_evals:
+                    return result
+                candidate = assemble(candidate_genome, scenario.name)
+                result.evals += 1
+                if still_fails(candidate):
+                    genome = genome_of(candidate)
+                    result.scenario = candidate
+                    result.steps.append(label)
+                    improved = True
+                    break  # next move against the smaller reproducer
+    return result

@@ -16,6 +16,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..broadcast.fib import BroadcastFib
+from ..core.seeds import derive_seed
 from ..errors import SimulationError
 from ..topology.base import Topology
 from ..types import NodeId, transmission_time_ns
@@ -341,7 +342,6 @@ class RackNetwork:
             raise SimulationError("owned_nodes requires a boundary callback")
         self._owned = owned
         self._boundary = boundary
-        loss_rng = random.Random(loss_seed ^ 0x10555) if loss_rate > 0 else None
         #: stack_at[node] is installed by the runner; it must expose
         #: deliver(packet) for packets terminating at the node.
         self.stack_at: List[Optional[object]] = [None] * topology.n_nodes
@@ -357,6 +357,15 @@ class RackNetwork:
             else:
                 deliver = self._make_deliver(link.dst)
                 latency_ns = link.latency_ns
+            # Wire-loss draws come from a per-port stream keyed by the
+            # link's identity: each port's sequence depends only on its own
+            # transmissions, so any sharding of the fabric (which splits
+            # ports across processes) reproduces the serial draws exactly.
+            loss_rng = (
+                random.Random(derive_seed(loss_seed, "wire-loss", link.src, link.dst))
+                if loss_rate > 0
+                else None
+            )
             self._ports[(link.src, link.dst)] = OutputPort(
                 loop,
                 link.src,

@@ -149,8 +149,15 @@ class R2C2ReliableStack(R2C2Stack):
             )
         receiver = self._receivers.get(packet.flow_id)
         if receiver is None:
-            assert flow.total_segments is not None
-            receiver = ReliableReceiver(flow.total_segments)
+            # The sender writes flow.total_segments at start_flow, but in a
+            # sharded run it may live in another shard; both sides derive
+            # the same count from the flow size and the configured MTU.
+            n_segments = (
+                flow.total_segments
+                if flow.total_segments is not None
+                else max(1, -(-flow.size_bytes // self._mtu))
+            )
+            receiver = ReliableReceiver(n_segments)
             self._receivers[packet.flow_id] = receiver
         if receiver.on_segment(packet.seq):
             flow.record_in_order(packet.seq)

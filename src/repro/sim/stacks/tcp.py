@@ -138,8 +138,12 @@ class TcpStack(HostStack):
             sent_ns=self.loop.now,
         )
         sender.in_flight += 1
+        # bytes_sent counts useful payload only, like the reliable R2C2
+        # transport: a segment contributes on its first transmission, never
+        # on retransmits (wire-level totals live in the port counters).
+        if seg not in sender.send_times:
+            sender.flow.bytes_sent += payload
         sender.send_times[seg] = self.loop.now
-        sender.flow.bytes_sent += payload
         self.network.inject(self.node, packet)
 
     def _arm_timer(self, sender: _TcpSender) -> None:
@@ -171,6 +175,10 @@ class TcpStack(HostStack):
         if ack > sender.cum_acked:
             newly = ack - sender.cum_acked
             sender.cum_acked = ack
+            # Never (re)send below the cumulative ACK point: an ACK that
+            # overtakes an RTO-rewound next_to_send would otherwise make
+            # _try_send retransmit segments the receiver already has.
+            sender.next_to_send = max(sender.next_to_send, ack)
             sender.in_flight = max(0, sender.in_flight - newly)
             sender.dup_acks = 0
             # RTT sample from the newest acked segment (Karn-ish: only if we

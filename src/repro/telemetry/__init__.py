@@ -43,6 +43,7 @@ from .registry import (
     TimeSeries,
     merge_snapshots,
 )
+from .signature import log2_bucket, sim_signature
 from .trace import (
     NULL_TRACE,
     TRACK_BROADCAST,
@@ -63,6 +64,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LinkProbeSet",
+    "log2_bucket",
     "merge_snapshots",
     "MetricsRegistry",
     "NULL_REGISTRY",
@@ -71,6 +73,7 @@ __all__ = [
     "NullTrace",
     "QUEUE_BUCKETS",
     "RATIO_BUCKETS",
+    "sim_signature",
     "Telemetry",
     "TelemetryConfig",
     "TimeSeries",

@@ -1,0 +1,75 @@
+"""Behavioral signatures: quantize a run's telemetry into a coverage key.
+
+A *signature* compresses what a simulation run **did** — how deep queues
+got, how much reordering the spraying caused, how many control-plane
+epochs actually recomputed, how many packets were dropped or lost — into a
+small tuple of quantized features.  Two runs with the same signature
+exercised the stack in (approximately) the same way; a run with a new
+signature reached behavior no earlier run reached.  That makes signatures
+the "coverage" in :mod:`repro.fuzz`'s coverage-guided scenario search: the
+fuzzer keeps a scenario for further mutation exactly when its signature is
+new.
+
+Quantization is logarithmic (power-of-two buckets): raw counters are far
+too fine (every run would be "new") while booleans are far too coarse.
+``log2_bucket`` maps 0 to 0 and any positive x to ``1 + floor(log2(x))``,
+so the buckets are [0], [1], [2..3], [4..7], ...
+
+Everything here is a pure function of the task result dict produced by
+``repro.experiments`` sim tasks (summary + telemetry rollup), so
+signatures are exactly as deterministic and executor-independent as the
+results they compress.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Tuple
+
+__all__ = ["log2_bucket", "sim_signature"]
+
+
+def log2_bucket(value: float) -> int:
+    """Power-of-two bucket index: 0 for <= 0, else ``1 + floor(log2(v))``."""
+    value = int(value)
+    if value <= 0:
+        return 0
+    return 1 + value.bit_length() - 1
+
+
+def _counter(result: Mapping[str, Any], name: str) -> float:
+    return result.get("telemetry", {}).get("counters", {}).get(name, 0)
+
+
+def sim_signature(result: Mapping[str, Any]) -> Tuple[Tuple[str, int], ...]:
+    """The quantized behavioral signature of one sim-task result.
+
+    Features (each ``(name, bucket)``):
+
+    * ``completed`` — completion-rate decile (0..10): did the workload
+      finish, and how badly if not;
+    * ``queue_p99`` — log2 bucket of the p99 per-port max queue occupancy
+      in KB (the Figure 7b/14 congestion axis);
+    * ``reorder`` — log2 bucket of the worst per-flow reorder-buffer
+      occupancy in packets (multi-path skew);
+    * ``drops`` / ``losses`` — log2 buckets of queue drops and injected
+      wire losses (loss-path coverage);
+    * ``epochs`` — log2 bucket of recomputed control-plane epochs (how
+      alive the control plane was);
+    * ``bcast`` — log2 bucket of broadcast KB on the wire (control-plane
+      traffic volume);
+    * ``audit`` — 0 when the invariant auditor was silent, 1 when it
+      collected violations (always interesting).
+    """
+    summary = result.get("summary", {})
+    completion = float(result.get("completion_rate", 1.0))
+    features = (
+        ("completed", int(round(completion * 10))),
+        ("queue_p99", log2_bucket(summary.get("queue_p99_kb", 0))),
+        ("reorder", log2_bucket(result.get("reorder_max", 0))),
+        ("drops", log2_bucket(summary.get("drops", 0))),
+        ("losses", log2_bucket(result.get("wire_losses", _counter(result, "wire.losses")))),
+        ("epochs", log2_bucket(summary.get("epochs_recomputed", 0))),
+        ("bcast", log2_bucket(summary.get("broadcast_bytes", 0) / 1024.0)),
+        ("audit", 0 if result.get("audit", {}).get("ok", True) else 1),
+    )
+    return features

@@ -19,9 +19,13 @@ package provides the three layers of that correctness net:
   simulator against the fluid simulator and the simulator against the Maze
   emulation on randomized topologies and workloads, reporting maximum
   relative rate error the way Figures 15/16 do.
+* :mod:`repro.validation.verdicts` — structured per-oracle pass/fail
+  verdicts over executed ``repro.experiments`` sim tasks (crash, audit,
+  sanity, sharded-vs-serial consistency), the machine-readable form the
+  scenario fuzzer (:mod:`repro.fuzz`) triages and persists.
 """
 
-from .auditor import AuditReport, InvariantAuditor
+from .auditor import AuditReport, InvariantAuditor, merge_audit_reports
 from .faults import FaultEvent, FaultInjector, FaultSchedule
 from .oracle import (
     DifferentialCase,
@@ -35,17 +39,32 @@ from .oracle import (
     waterfill_vs_lp_case,
     waterfill_vs_lp_report,
 )
+from .verdicts import (
+    OracleVerdict,
+    audit_verdict,
+    consistency_verdict,
+    crash_verdict,
+    sanity_verdicts,
+    sim_result_verdicts,
+)
 
 __all__ = [
     "AuditReport",
+    "audit_verdict",
+    "consistency_verdict",
+    "crash_verdict",
     "DifferentialCase",
     "DifferentialReport",
     "FaultEvent",
     "FaultInjector",
     "FaultSchedule",
     "InvariantAuditor",
+    "merge_audit_reports",
+    "OracleVerdict",
     "random_connected_topology",
     "random_single_path_specs",
+    "sanity_verdicts",
+    "sim_result_verdicts",
     "sim_vs_fluid_case",
     "sim_vs_fluid_report",
     "sim_vs_maze_case",

@@ -314,10 +314,16 @@ class InvariantAuditor:
     # ------------------------------------------------------------------
     # End-of-run checks
     # ------------------------------------------------------------------
-    def check_conservation(self, drained: bool = True) -> None:
+    def check_conservation(self, drained: bool = True, check_transit: bool = True) -> None:
         """Packet conservation: every packet offered to a port is either
         rejected, still queued, in serialization, wire-lost or propagated;
-        with a drained event loop, every propagated packet arrived."""
+        with a drained event loop, every propagated packet arrived.
+
+        ``check_transit=False`` skips the propagated-equals-arrived check:
+        a shard of a sharded run legitimately propagates packets that
+        arrive in *another* shard's auditor, so the transit check only
+        holds on the summed counters (see :func:`merge_audit_reports`).
+        """
         if not self.enabled:
             return
         for (src, dst), audit in self._ports.items():
@@ -334,7 +340,7 @@ class InvariantAuditor:
                     f"port {src}->{dst}: conservation broken — started "
                     f"{audit.started} != finished {audit.finished} + in-service {in_service}"
                 )
-        if drained and self._propagated != self._arrived:
+        if check_transit and drained and self._propagated != self._arrived:
             self._violate(
                 f"packet conservation broken: {self._propagated} packets entered "
                 f"propagation but {self._arrived} arrived"
@@ -364,9 +370,11 @@ class InvariantAuditor:
                         f"before start at {flow.start_ns} ns"
                     )
 
-    def final_check(self, flows=None, drained: bool = True) -> AuditReport:
+    def final_check(
+        self, flows=None, drained: bool = True, check_transit: bool = True
+    ) -> AuditReport:
         """Run all end-of-run checks and return the :class:`AuditReport`."""
-        self.check_conservation(drained=drained)
+        self.check_conservation(drained=drained, check_transit=check_transit)
         if flows is not None:
             self.audit_flows(flows)
         return self.report()
@@ -385,3 +393,43 @@ class InvariantAuditor:
             flow_checks=self._flow_checks,
             violations=list(self.violations),
         )
+
+
+def merge_audit_reports(
+    reports, flows=None, drained: bool = True, strict: bool = True
+) -> AuditReport:
+    """Combine per-shard :class:`AuditReport`\\ s into one run-level report.
+
+    Each shard audits its own slice with ``check_transit=False`` (a cut
+    port's propagated packets arrive in another shard's auditor); this
+    helper sums the counters, keeps the violations in shard order, and runs
+    the two checks only the whole run can answer: propagated-equals-arrived
+    over the summed counters, and the final per-flow byte/completion audit
+    over the merged flow states.  With ``strict`` the first run-level
+    violation raises :class:`~repro.errors.InvariantViolation`, matching a
+    serial ``audit_strict`` run (per-shard violations already raised inside
+    their shard).
+    """
+    merged = AuditReport()
+    for report in reports:
+        merged.events += report.events
+        merged.packets_accepted += report.packets_accepted
+        merged.packets_rejected += report.packets_rejected
+        merged.packets_propagated += report.packets_propagated
+        merged.packets_arrived += report.packets_arrived
+        merged.packets_delivered += report.packets_delivered
+        merged.packets_wire_lost += report.packets_wire_lost
+        merged.allocations_audited += report.allocations_audited
+        merged.flow_checks += report.flow_checks
+        merged.violations.extend(report.violations)
+    checker = InvariantAuditor(strict=strict)
+    checker.violations = merged.violations  # shared list: _violate appends here
+    if drained and merged.packets_propagated != merged.packets_arrived:
+        checker._violate(
+            f"packet conservation broken: {merged.packets_propagated} packets "
+            f"entered propagation but {merged.packets_arrived} arrived"
+        )
+    if flows is not None:
+        checker.audit_flows(flows)
+        merged.flow_checks += checker._flow_checks
+    return merged

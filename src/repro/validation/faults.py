@@ -92,21 +92,44 @@ class FaultInjector:
         chosen = self._rng.sample(list(topology.links), k)
         return [(link.src, link.dst) for link in chosen]
 
+    def sample_duplex_links(
+        self, topology: Topology, k: int
+    ) -> List[Tuple[NodeId, NodeId]]:
+        """Pick *k* distinct undirected links as canonical (low, high) pairs."""
+        duplex = sorted({(min(l.src, l.dst), max(l.src, l.dst)) for l in topology.links})
+        if k > len(duplex):
+            raise SimulationError(
+                f"cannot fail {k} of {len(duplex)} duplex links"
+            )
+        return self._rng.sample(duplex, k)
+
     def fail_links(
         self,
         topology: Topology,
         k: int,
         require_connected: bool = True,
         max_tries: int = 64,
+        symmetric: bool = False,
     ) -> Tuple[Topology, List[Tuple[NodeId, NodeId]]]:
         """Fail *k* directed links; returns (degraded view, failed links).
 
         With ``require_connected`` the sample is redrawn until the degraded
         fabric stays strongly connected (the regime §3.2's re-announce is
         designed for — partitions are a different failure class).
+
+        ``symmetric`` fails *k* undirected links — both directions of each,
+        modeling a dead cable rather than a dead transceiver.  Protocols
+        that send replies along the reversed data path (TCP ACKs, the
+        reliable transport's ACKs) assume symmetric connectivity, so
+        storm-style experiments use this mode; the returned list then
+        contains both directions of every failed link.
         """
         for _ in range(max_tries):
-            failed = self.sample_links(topology, k)
+            if symmetric:
+                duplex = self.sample_duplex_links(topology, k)
+                failed = [(a, b) for a, b in duplex] + [(b, a) for a, b in duplex]
+            else:
+                failed = self.sample_links(topology, k)
             degraded = topology.without_links(failed)
             if not require_connected or degraded.is_connected():
                 for src, dst in failed:

@@ -417,10 +417,24 @@ def _random_sharded_workload(seed: int, n_flows: int):
                 )
             )
             start_ns += rng.randrange(1, 20_000)
+    # Wire loss and auditing are simulation semantics, not executor policy,
+    # so the oracle space covers them: per-port loss RNG streams and merged
+    # per-shard audit reports must reproduce the serial run exactly.  Lossy
+    # r2c2 uses the reliable transport so flows still complete (the plain
+    # stack has no retransmission and would run to the horizon).
+    loss_rate = rng.choice([0.0, 0.0, 0.01])
+    audit = rng.random() < 0.5
     if rng.random() < 0.5:
-        config = SimConfig(stack="r2c2", control_plane="per_node", seed=seed)
+        config = SimConfig(
+            stack="r2c2",
+            control_plane="per_node",
+            seed=seed,
+            loss_rate=loss_rate,
+            reliable=loss_rate > 0,
+            audit=audit,
+        )
     else:
-        config = SimConfig(stack="tcp", seed=seed)
+        config = SimConfig(stack="tcp", seed=seed, loss_rate=loss_rate, audit=audit)
     return topology, trace, config
 
 

@@ -1,0 +1,135 @@
+"""Structured oracle verdicts for machine consumers (the scenario fuzzer).
+
+The differential oracles in :mod:`repro.validation.oracle` report
+human-oriented error statistics; the fuzzer needs a uniform, JSON-able
+answer to one question per oracle: *did this scenario violate the
+invariant, and how?*  An :class:`OracleVerdict` is that answer, and the
+adapters below produce one from each checkable surface of an executed
+``repro.experiments`` sim task:
+
+* :func:`crash_verdict` — the scenario raised instead of returning;
+* :func:`audit_verdict` — the invariant auditor's collected violations;
+* :func:`sanity_verdicts` — structural facts every result must satisfy
+  (completion rate in [0, 1], completed <= flows);
+* :func:`consistency_verdict` — the sharded-vs-serial differential,
+  phrased over task result dicts: ``Scenario.shards`` is executor policy,
+  so the serial and K-shard executions of one scenario must return
+  byte-identical results.
+
+Verdicts are deterministic functions of their inputs, so a fuzzing run's
+verdict stream is as reproducible as the simulations themselves.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "OracleVerdict",
+    "audit_verdict",
+    "crash_verdict",
+    "sanity_verdicts",
+    "consistency_verdict",
+    "sim_result_verdicts",
+]
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """One oracle's pass/fail answer for one executed scenario."""
+
+    oracle: str
+    ok: bool
+    details: Tuple[str, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (corpus entries persist failing verdicts)."""
+        return {"oracle": self.oracle, "ok": self.ok, "details": list(self.details)}
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "OracleVerdict":
+        """Inverse of :meth:`to_dict`."""
+        return OracleVerdict(
+            oracle=str(data["oracle"]),
+            ok=bool(data["ok"]),
+            details=tuple(str(d) for d in data.get("details", ())),
+        )
+
+
+def crash_verdict(error: Optional[str]) -> OracleVerdict:
+    """Failing when the scenario raised; *error* is the exception string."""
+    if error is None:
+        return OracleVerdict(oracle="crash", ok=True)
+    return OracleVerdict(oracle="crash", ok=False, details=(error,))
+
+
+def audit_verdict(result: Mapping[str, Any]) -> OracleVerdict:
+    """The invariant auditor's verdict from a sim-task result dict.
+
+    Scenarios executed without ``audit=True`` pass vacuously (the fuzzer
+    always audits; hand-built scenarios may not).
+    """
+    audit = result.get("audit")
+    if audit is None:
+        return OracleVerdict(oracle="audit", ok=True)
+    return OracleVerdict(
+        oracle="audit",
+        ok=bool(audit.get("ok", True)),
+        details=tuple(audit.get("violations", ())),
+    )
+
+
+def sanity_verdicts(result: Mapping[str, Any]) -> List[OracleVerdict]:
+    """Structural checks every sim-task result must satisfy."""
+    verdicts: List[OracleVerdict] = []
+    completion = float(result.get("completion_rate", 1.0))
+    detail = ()
+    if not (0.0 <= completion <= 1.0):
+        detail = (f"completion_rate {completion} outside [0, 1]",)
+    verdicts.append(
+        OracleVerdict(oracle="completion_rate", ok=not detail, details=detail)
+    )
+    summary = result.get("summary", {})
+    flows = summary.get("flows")
+    completed = summary.get("completed")
+    detail = ()
+    if flows is not None and completed is not None and completed > flows:
+        detail = (f"{completed} completed of {flows} flows",)
+    verdicts.append(
+        OracleVerdict(oracle="flow_accounting", ok=not detail, details=detail)
+    )
+    return verdicts
+
+
+def consistency_verdict(
+    serial_result: Mapping[str, Any], sharded_result: Mapping[str, Any]
+) -> OracleVerdict:
+    """Sharded-vs-serial differential over task result dicts.
+
+    ``Scenario.shards`` is executor policy (outside the cache
+    fingerprint), so the two executions must return byte-identical JSON;
+    any difference is an engine bug, with the differing top-level keys
+    named in the details.
+    """
+    canon_serial = json.dumps(serial_result, sort_keys=True)
+    canon_sharded = json.dumps(sharded_result, sort_keys=True)
+    if canon_serial == canon_sharded:
+        return OracleVerdict(oracle="sharded_vs_serial", ok=True)
+    differing = sorted(
+        key
+        for key in set(serial_result) | set(sharded_result)
+        if json.dumps(serial_result.get(key), sort_keys=True)
+        != json.dumps(sharded_result.get(key), sort_keys=True)
+    )
+    return OracleVerdict(
+        oracle="sharded_vs_serial",
+        ok=False,
+        details=tuple(f"result key {key!r} differs between executors" for key in differing),
+    )
+
+
+def sim_result_verdicts(result: Mapping[str, Any]) -> List[OracleVerdict]:
+    """All result-level verdicts for one executed sim task (no differential)."""
+    return [audit_verdict(result), *sanity_verdicts(result)]

@@ -126,17 +126,67 @@ def test_rejects_shared_control_plane():
         validate_sharded_config(SimConfig(stack="r2c2", control_plane="shared"))
 
 
-def test_rejects_pfq_loss_audit_and_trace():
+def test_rejects_pfq_and_trace():
     with pytest.raises(SimulationError, match="pfq"):
         validate_sharded_config(SimConfig(stack="pfq"))
-    with pytest.raises(SimulationError, match="loss_rate"):
-        validate_sharded_config(
-            SimConfig(stack="tcp", loss_rate=0.01)
-        )
-    with pytest.raises(SimulationError, match="audit"):
-        validate_sharded_config(SimConfig(stack="tcp", audit=True))
     with pytest.raises(SimulationError, match="metrics only"):
         validate_sharded_config(
             SimConfig(stack="tcp"),
             TelemetryConfig(metrics=True, trace=True),
         )
+
+
+def test_accepts_loss_and_audit():
+    """Wire loss and auditing are simulation semantics and shard exactly."""
+    validate_sharded_config(SimConfig(stack="tcp", loss_rate=0.01))
+    validate_sharded_config(SimConfig(stack="tcp", audit=True))
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("stack", ["r2c2", "tcp"])
+def test_lossy_byte_identical(shards, stack):
+    """Per-port wire-loss RNG streams reproduce the serial draws exactly."""
+    topology = TorusTopology((4, 4))
+    trace = poisson_trace(topology, 30, 8_000, seed=13)
+    config = (
+        SimConfig(
+            stack="r2c2",
+            control_plane="per_node",
+            reliable=True,
+            loss_rate=0.01,
+            seed=13,
+        )
+        if stack == "r2c2"
+        else SimConfig(stack="tcp", loss_rate=0.01, seed=13)
+    )
+    result = _assert_exact(topology, trace, config, shards)
+    assert result.metrics.wire_losses > 0  # the fault actually fired
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_audited_byte_identical(shards):
+    """Per-shard auditors merge into the serial run's verdict."""
+    topology = TorusTopology((4, 4))
+    trace = poisson_trace(topology, 30, 8_000, seed=17)
+    config = SimConfig(
+        stack="r2c2", control_plane="per_node", audit=True, seed=17
+    )
+    result = _assert_exact(topology, trace, config, shards)
+    serial_metrics, _ = _serial(topology, trace, config)
+    assert result.metrics.audit is not None
+    assert result.metrics.audit.ok
+    assert result.metrics.audit.violations == serial_metrics.audit.violations
+    # Conservation counters sum to the serial run's totals.
+    assert (
+        result.metrics.audit.packets_propagated
+        == serial_metrics.audit.packets_propagated
+    )
+    assert result.metrics.audit.packets_arrived == serial_metrics.audit.packets_arrived
+    assert (
+        result.metrics.audit.packets_delivered
+        == serial_metrics.audit.packets_delivered
+    )
+    assert (
+        result.metrics.audit.allocations_audited
+        == serial_metrics.audit.allocations_audited
+    )

@@ -1,0 +1,77 @@
+"""Corpus store: content addressing, atomicity of intent, determinism."""
+
+import json
+
+import pytest
+
+from repro.fuzz import Corpus, CorpusEntry, generate_scenario
+from repro.validation.verdicts import OracleVerdict
+
+pytestmark = pytest.mark.fuzz
+
+
+def _entry(seed=11):
+    return CorpusEntry(
+        scenario=generate_scenario(seed, f"repro-{seed}"),
+        verdicts=[
+            OracleVerdict(oracle="audit", ok=False, details=("flow 0: short",))
+        ],
+        signature=(("completed", 9), ("audit", 1)),
+        found_from="cafe" * 16,
+        shrink_steps=("2 flow(s)", "no storm"),
+        root_seed=42,
+    )
+
+
+class TestCorpus:
+    def test_add_and_load_round_trip(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        entry = _entry()
+        path = corpus.add(entry)
+        assert path.exists() and path.parent == tmp_path
+        again = corpus.load(path)
+        assert again.scenario == entry.scenario
+        assert again.verdicts == entry.verdicts
+        assert tuple(again.signature) == tuple(entry.signature)
+        assert again.shrink_steps == entry.shrink_steps
+        assert again.root_seed == 42
+
+    def test_content_addressed_and_idempotent(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        entry = _entry()
+        p1 = corpus.add(entry)
+        p2 = corpus.add(entry)
+        assert p1 == p2 and len(corpus) == 1
+        assert p1.stem == entry.scenario.fingerprint()[:16]
+
+    def test_deterministic_bytes(self, tmp_path):
+        a, b = Corpus(tmp_path / "a"), Corpus(tmp_path / "b")
+        pa, pb = a.add(_entry()), b.add(_entry())
+        assert pa.read_bytes() == pb.read_bytes()
+        data = json.loads(pa.read_text())
+        assert set(data) == {
+            "schema", "scenario", "verdicts", "signature",
+            "found_from", "shrink_steps", "root_seed",
+        }
+
+    def test_entries_sorted_and_find_by_prefix(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        e1, e2 = _entry(1), _entry(2)
+        corpus.add(e2)
+        corpus.add(e1)
+        ids = [e.entry_id for e in corpus.entries()]
+        assert ids == sorted(ids) and len(ids) == 2
+        assert corpus.find(e1.entry_id[:8]).scenario == e1.scenario
+        assert corpus.find("") is None  # ambiguous prefix
+
+    def test_empty_and_missing_dir(self, tmp_path):
+        corpus = Corpus(tmp_path / "nope")
+        assert corpus.paths() == [] and corpus.entries() == [] and len(corpus) == 0
+
+    def test_unreadable_entry_raises_repro_error(self, tmp_path):
+        from repro.errors import ExperimentError
+
+        bad = tmp_path / "deadbeef.json"
+        bad.write_text("{not json")
+        with pytest.raises(ExperimentError):
+            Corpus(tmp_path).load(bad)

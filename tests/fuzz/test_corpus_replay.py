@@ -1,0 +1,36 @@
+"""Replay the persisted regression corpus (tests/corpus) against the tree.
+
+Every entry in the checked-in corpus is a shrunk reproducer for a bug
+that has since been fixed, so on a healthy tree each one must pass all
+of its oracles.  A failure here means a regression resurrected an old
+bug — the entry's ``verdicts`` field records what it looked like when
+it was filed.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import Corpus, replay_entry
+
+pytestmark = pytest.mark.fuzz_corpus
+
+_CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+
+def _corpus_entries():
+    corpus = Corpus(_CORPUS_DIR)
+    return [(e.entry_id, e) for e in corpus.entries()]
+
+
+_ENTRIES = _corpus_entries()
+
+
+@pytest.mark.skipif(not _ENTRIES, reason="regression corpus is empty")
+@pytest.mark.parametrize(
+    "entry", [e for _, e in _ENTRIES], ids=[i for i, _ in _ENTRIES]
+)
+def test_corpus_entry_passes_on_healthy_tree(entry):
+    verdicts = replay_entry(entry)
+    bad = [(v.oracle, v.details) for v in verdicts if not v.ok]
+    assert not bad, f"regression corpus entry {entry.entry_id} failing: {bad}"

@@ -1,0 +1,56 @@
+"""Coverage-map semantics and deterministic serialization."""
+
+import pytest
+
+from repro.fuzz import CoverageMap
+
+pytestmark = pytest.mark.fuzz
+
+SIG_A = (("completed", 10), ("drops", 0))
+SIG_B = (("completed", 10), ("drops", 3))
+
+
+class TestCoverageMap:
+    def test_observe_new_then_seen(self):
+        cov = CoverageMap()
+        assert cov.observe(SIG_A) is True
+        assert cov.observe(SIG_A) is False
+        assert cov.observe(SIG_B) is True
+        assert len(cov) == 2
+        assert cov.hits(SIG_A) == 2 and cov.hits(SIG_B) == 1
+        assert SIG_A in cov and (("x", 1),) not in cov
+
+    def test_round_trip(self):
+        cov = CoverageMap()
+        cov.observe(SIG_A)
+        cov.observe(SIG_A)
+        cov.observe(SIG_B)
+        again = CoverageMap.from_dict(cov.to_dict())
+        assert again.signatures() == cov.signatures()
+        assert again.hits(SIG_A) == 2
+        assert again.to_json() == cov.to_json()
+
+    def test_json_is_order_independent(self):
+        a = CoverageMap()
+        a.observe(SIG_A)
+        a.observe(SIG_B)
+        b = CoverageMap()
+        b.observe(SIG_B)
+        b.observe(SIG_A)
+        assert a.to_json() == b.to_json()
+
+    def test_save_load(self, tmp_path):
+        cov = CoverageMap()
+        cov.observe(SIG_A)
+        path = tmp_path / "cov.json"
+        cov.save(path)
+        assert CoverageMap.load(path).to_json() == cov.to_json()
+
+    def test_merge(self):
+        a = CoverageMap()
+        a.observe(SIG_A)
+        b = CoverageMap()
+        b.observe(SIG_A)
+        b.observe(SIG_B)
+        a.merge(b)
+        assert len(a) == 2 and a.hits(SIG_A) == 2

@@ -1,0 +1,53 @@
+"""The fuzzing loop: determinism, coverage growth, clean-tree behavior."""
+
+import json
+
+import pytest
+
+from repro.fuzz import Corpus, FuzzConfig, run_fuzz
+
+pytestmark = pytest.mark.fuzz
+
+
+def _run(tmp_path, tag, **overrides):
+    corpus_dir = tmp_path / tag
+    config = FuzzConfig(
+        seed=42, budget=30, batch_size=10, corpus_dir=corpus_dir, **overrides
+    )
+    return run_fuzz(config), corpus_dir
+
+
+class TestFuzzLoop:
+    def test_budget_and_coverage(self, tmp_path):
+        report, _ = _run(tmp_path, "a")
+        assert report.executed == 30
+        assert len(report.coverage) == report.interesting > 5
+        # A healthy tree yields no failures: every scenario passes every
+        # oracle (crash, audit, sanity, sharded-vs-serial differential).
+        assert report.failures == []
+        assert not report.found_failures
+
+    def test_two_runs_byte_identical(self, tmp_path):
+        r1, d1 = _run(tmp_path, "one")
+        r2, d2 = _run(tmp_path, "two")
+        assert r1.coverage.to_json() == r2.coverage.to_json()
+        assert json.dumps(r1.summary(), sort_keys=True) == json.dumps(
+            r2.summary(), sort_keys=True
+        )
+        files1 = {p.name: p.read_bytes() for p in Corpus(d1).paths()}
+        files2 = {p.name: p.read_bytes() for p in Corpus(d2).paths()}
+        assert files1 == files2
+
+    def test_different_seed_different_coverage(self, tmp_path):
+        r1, _ = _run(tmp_path, "s42")
+        config = FuzzConfig(seed=43, budget=30, batch_size=10)
+        r2 = run_fuzz(config)
+        assert r1.coverage.to_json() != r2.coverage.to_json()
+
+    def test_summary_is_jsonable_and_complete(self, tmp_path):
+        report, _ = _run(tmp_path, "sum")
+        summary = json.loads(json.dumps(report.summary()))
+        assert summary["executed"] == 30
+        assert summary["seed"] == 42 and summary["budget"] == 30
+        assert summary["coverage_signatures"] == len(report.coverage)
+        assert summary["failures"] == [] and summary["corpus_paths"] == []

@@ -1,0 +1,117 @@
+"""Shrinker behavior against synthetic predicates (no simulation needed).
+
+The shrinker only talks to the world through its predicate, so these
+tests drive it with pure functions of the spec and check minimality,
+determinism and budget respect.
+"""
+
+import pytest
+
+from repro.fuzz import generate_scenario, shrink_scenario
+from repro.fuzz.generator import assemble, genome_of
+
+pytestmark = pytest.mark.fuzz
+
+
+def _nodes(scenario):
+    n = 1
+    for d in scenario.dims:
+        n *= d
+    return n
+
+
+def _big_failing_scenario():
+    """A deliberately maximal scenario for the shrinker to chew through."""
+    genome = genome_of(generate_scenario(3, "big"))
+    genome.update(
+        topology="torus",
+        dims=(4, 4),
+        workload="poisson",
+        n_flows=12,
+        sizes="fixed",
+        flow_bytes=64_000,
+        fail_links=2,
+        loss_rate=0.01,
+        queue_limit_bytes=30_000,
+        latency_ns=1000,
+        mtu_payload=512,
+        horizon_ns=2_000_000,
+        stack="r2c2",
+        control_plane="per_node",
+    )
+    return assemble(genome, "big")
+
+
+class TestShrink:
+    def test_always_failing_predicate_reaches_floor(self):
+        scenario = _big_failing_scenario()
+        result = shrink_scenario(scenario, lambda s: True, max_evals=200)
+        shrunk = result.scenario
+        assert _nodes(shrunk) == 4  # smallest grid on the ladder
+        assert shrunk.param("n_flows") == 1
+        assert shrunk.param("fail_links") is None
+        assert shrunk.param("loss_rate") is None
+        assert shrunk.param("queue_limit_bytes") is None
+        assert shrunk.param("latency_ns") is None
+        assert shrunk.param("mtu_payload") == 1500
+        assert shrunk.param("control_plane") == "shared"
+        assert result.steps  # the trail is recorded
+
+    def test_predicate_gates_acceptance(self):
+        scenario = _big_failing_scenario()
+        # "Failure" requires >= 8 nodes and >= 3 flows: the shrinker must
+        # stop exactly at the smallest spec satisfying that.
+        def fails(s):
+            return _nodes(s) >= 8 and s.param("n_flows", 0) >= 3
+
+        result = shrink_scenario(scenario, fails, max_evals=300)
+        assert _nodes(result.scenario) == 8
+        assert result.scenario.param("n_flows") == 3
+
+    def test_deterministic(self):
+        scenario = _big_failing_scenario()
+        a = shrink_scenario(scenario, lambda s: True, max_evals=200)
+        b = shrink_scenario(scenario, lambda s: True, max_evals=200)
+        assert a.scenario == b.scenario
+        assert a.steps == b.steps
+        assert a.evals == b.evals
+
+    def test_eval_budget_respected(self):
+        scenario = _big_failing_scenario()
+        calls = []
+
+        def fails(s):
+            calls.append(s)
+            return True
+
+        result = shrink_scenario(scenario, fails, max_evals=5)
+        assert result.evals == len(calls) == 5
+
+    def test_never_failing_keeps_original(self):
+        scenario = _big_failing_scenario()
+        result = shrink_scenario(scenario, lambda s: False, max_evals=100)
+        assert result.scenario == scenario
+        assert result.steps == []
+
+    def test_candidates_stay_valid(self):
+        from repro.sim import SimConfig
+
+        scenario = _big_failing_scenario()
+        seen = []
+
+        def fails(s):
+            params = s.params_dict
+            SimConfig(
+                stack=params.get("stack", "r2c2"),
+                mtu_payload=int(params.get("mtu_payload", 1500)),
+                control_plane=params.get("control_plane", "shared"),
+                reliable=bool(params.get("reliable", False)),
+                loss_rate=float(params.get("loss_rate", 0.0)),
+                audit=True,
+                audit_strict=False,
+            )
+            seen.append(s)
+            return True
+
+        shrink_scenario(scenario, fails, max_evals=200)
+        assert len(seen) > 10  # the predicate really ran the gauntlet

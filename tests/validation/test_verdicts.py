@@ -1,0 +1,64 @@
+"""Structured oracle verdict adapters (repro.validation.verdicts)."""
+
+import pytest
+
+from repro.validation.verdicts import (
+    OracleVerdict,
+    audit_verdict,
+    consistency_verdict,
+    crash_verdict,
+    sanity_verdicts,
+    sim_result_verdicts,
+)
+
+pytestmark = pytest.mark.validation
+
+
+class TestVerdictShapes:
+    def test_round_trip(self):
+        v = OracleVerdict(oracle="audit", ok=False, details=("a", "b"))
+        assert OracleVerdict.from_dict(v.to_dict()) == v
+
+    def test_crash(self):
+        assert crash_verdict(None).ok
+        v = crash_verdict("SimulationError: no link 0 -> 4")
+        assert not v.ok and "no link" in v.details[0]
+
+    def test_audit(self):
+        assert audit_verdict({}).ok  # unaudited runs pass vacuously
+        assert audit_verdict({"audit": {"ok": True, "violations": []}}).ok
+        v = audit_verdict({"audit": {"ok": False, "violations": ["flow 0: short"]}})
+        assert not v.ok and v.details == ("flow 0: short",)
+
+    def test_sanity(self):
+        good = {"completion_rate": 1.0, "summary": {"flows": 3, "completed": 3}}
+        assert all(v.ok for v in sanity_verdicts(good))
+        bad_rate = {"completion_rate": 1.5, "summary": {}}
+        assert any(
+            v.oracle == "completion_rate" and not v.ok
+            for v in sanity_verdicts(bad_rate)
+        )
+        bad_count = {"completion_rate": 1.0, "summary": {"flows": 2, "completed": 3}}
+        assert any(
+            v.oracle == "flow_accounting" and not v.ok
+            for v in sanity_verdicts(bad_count)
+        )
+
+    def test_consistency(self):
+        a = {"summary": {"drops": 1}, "telemetry": {"counters": {}}}
+        assert consistency_verdict(a, dict(a)).ok
+        b = {"summary": {"drops": 2}, "telemetry": {"counters": {}}}
+        v = consistency_verdict(a, b)
+        assert not v.ok
+        assert any("'summary'" in d for d in v.details)
+        assert not any("'telemetry'" in d for d in v.details)
+
+    def test_sim_result_verdicts_bundle(self):
+        result = {
+            "completion_rate": 1.0,
+            "summary": {"flows": 1, "completed": 1},
+            "audit": {"ok": True, "violations": []},
+        }
+        oracles = [v.oracle for v in sim_result_verdicts(result)]
+        assert oracles == ["audit", "completion_rate", "flow_accounting"]
+        assert all(v.ok for v in sim_result_verdicts(result))
