@@ -81,6 +81,7 @@ def run_scenario(dims: tuple, n_flows: int, shards: int, reps: int) -> dict:
         )
         sharded_times.append(time.perf_counter() - started)
         sharded_digest = canonical_metrics(sharded.metrics)
+        sync_profile = sharded.sync_profile or {}
 
     if serial_digest != sharded_digest:
         raise SystemExit(
@@ -90,6 +91,7 @@ def run_scenario(dims: tuple, n_flows: int, shards: int, reps: int) -> dict:
 
     serial_s = sorted(serial_times)[len(serial_times) // 2]
     sharded_s = sorted(sharded_times)[len(sharded_times) // 2]
+    utilization = sync_profile.get("lookahead_utilization")
     return {
         "median_s": round(sharded_s, 4),
         "serial_s": round(serial_s, 4),
@@ -100,6 +102,14 @@ def run_scenario(dims: tuple, n_flows: int, shards: int, reps: int) -> dict:
         "n_flows": n_flows,
         "dims": "x".join(map(str, dims)),
         "seed": SEED,
+        # Sync-profiler view of the last rep (repro.obs tentpole): where
+        # the sharded wall clock went and how full the lookahead windows
+        # ran — the numbers that explain a speedup shortfall.
+        "rounds": sync_profile.get("rounds"),
+        "blocked_s": round(sync_profile.get("blocked_s", 0.0), 4),
+        "lookahead_utilization": (
+            round(utilization, 4) if utilization is not None else None
+        ),
     }
 
 

@@ -7,13 +7,18 @@ wall clock:
 * ``null`` — telemetry *disabled* (``TelemetryConfig(metrics=False,
   trace=False)``): every instrumented site resolves falsy null sinks, so
   this measures the cost of the instrumentation hooks themselves;
-* ``on``   — full metrics + trace recording, reported for reference only.
+* ``on``   — full metrics + trace recording, reported for reference only;
+* ``obs``  — causal FCT tracer + crash flight recorder
+  (``SimConfig(obs=True, flight=True)``, :mod:`repro.obs`), reference only.
 
 ``--check`` fails when ``null`` exceeds ``off`` by more than
 ``OVERHEAD_BUDGET`` (2 %) — the contract that lets instrumentation stay
-threaded through hot paths unconditionally.  Reps are interleaved
-(off/null/on, off/null/on, ...) and compared on the *minimum*, which is
-the noise-robust estimator for "how fast can this code path go".
+threaded through hot paths unconditionally.  The ``off`` baseline already
+executes every *disabled* repro.obs hook (they are ``is not None`` guards
+compiled into the engine), so the gate covers the tracer's disabled path
+too.  Reps are interleaved (off/null/on/obs, ...) and compared on the
+*minimum*, which is the noise-robust estimator for "how fast can this
+code path go".
 
 Run::
 
@@ -50,15 +55,20 @@ OVERHEAD_BUDGET = 0.02
 SCENARIO = "sim_r2c2_telemetry_overhead_4x4x4"
 SEED = 0
 FULL = (200, (4, 4, 4), 7)   # n_flows, dims, interleaved reps per mode
-QUICK = (60, (4, 4, 4), 9)
+QUICK = (60, (4, 4, 4), 15)
 
 
 def _telemetry_for(mode: str):
-    if mode == "off":
+    if mode in ("off", "obs"):
         return None
     if mode == "null":
         return Telemetry(TelemetryConfig(metrics=False, trace=False))
     return Telemetry(TelemetryConfig())
+
+
+def _config_for(mode: str) -> SimConfig:
+    enabled = mode == "obs"
+    return SimConfig(stack="r2c2", seed=SEED, obs=enabled, flight=enabled)
 
 
 def run_scenario(n_flows: int, dims: tuple, reps: int) -> dict:
@@ -70,17 +80,17 @@ def run_scenario(n_flows: int, dims: tuple, reps: int) -> dict:
         sizes=ParetoSizes(mean_bytes=100 * 1024, shape=1.05, cap_bytes=20_000_000),
         seed=SEED,
     )
-    best = {"off": float("inf"), "null": float("inf"), "on": float("inf")}
+    modes = ("off", "null", "on", "obs")
+    best = {mode: float("inf") for mode in modes}
     for _ in range(reps):
-        for mode in ("off", "null", "on"):
+        for mode in modes:
             telemetry = _telemetry_for(mode)
             started = time.perf_counter()
-            run_simulation(
-                topo, trace, SimConfig(stack="r2c2", seed=SEED), telemetry=telemetry
-            )
+            run_simulation(topo, trace, _config_for(mode), telemetry=telemetry)
             best[mode] = min(best[mode], time.perf_counter() - started)
     null_overhead = best["null"] / best["off"] - 1.0
     on_overhead = best["on"] / best["off"] - 1.0
+    obs_overhead = best["obs"] / best["off"] - 1.0
     return {
         # median_s keys the generic >3x regression gate; the null-sink run
         # is the one whose speed this benchmark exists to protect.
@@ -88,8 +98,10 @@ def run_scenario(n_flows: int, dims: tuple, reps: int) -> dict:
         "best_off_s": round(best["off"], 4),
         "best_null_s": round(best["null"], 4),
         "best_on_s": round(best["on"], 4),
+        "best_obs_s": round(best["obs"], 4),
         "null_overhead_pct": round(null_overhead * 100, 2),
         "on_overhead_pct": round(on_overhead * 100, 2),
+        "obs_overhead_pct": round(obs_overhead * 100, 2),
         "n_flows": n_flows,
         "dims": "x".join(map(str, dims)),
         "reps": reps,
@@ -125,7 +137,7 @@ def main() -> int:
         record_entry(
             doc,
             SCENARIO,
-            f"interleaved off/null/on telemetry runs of {n_flows} Poisson "
+            f"interleaved off/null/on/obs telemetry runs of {n_flows} Poisson "
             f"pareto flows, r2c2 stack, {'x'.join(map(str, dims))} torus, "
             f"seed {SEED}; best-of-{reps} per mode",
             entry,

@@ -5,7 +5,11 @@ Commands:
 * ``info``      — describe a rack topology (nodes, links, diameter, paths).
 * ``rates``     — start flows on a rack and print their R2C2 allocations.
 * ``simulate``  — run the packet-level simulator on a synthetic workload
-  (``--trace``/``--metrics`` capture telemetry; see DESIGN.md).
+  (``--trace``/``--metrics`` capture telemetry, ``--flight-dump`` the
+  crash flight recorder; see DESIGN.md).
+* ``explain-flow`` — causal critical-path report: decompose completed
+  flows' FCTs into pacing / serialization / queueing / propagation /
+  control-wait / host-wait / retransmit-wait (``repro.obs``).
 * ``report``    — pretty-print a ``--metrics`` snapshot.
 * ``figure2``   — print the routing-throughput table for a 2D torus.
 * ``claims``    — check the paper's headline numeric claims.
@@ -105,8 +109,9 @@ def cmd_rates(args) -> int:
     return 0
 
 
-def cmd_simulate(args) -> int:
-    from .sim import SimConfig, run_simulation
+def _sim_setup(args, obs: bool = False, flight: bool = False):
+    """The (topology, trace, config) a simulate-style command runs."""
+    from .sim import SimConfig
     from .workloads import ParetoSizes, poisson_trace
 
     topo = _build_topology(args.topology, args.dims)
@@ -122,7 +127,16 @@ def cmd_simulate(args) -> int:
         control_plane=args.control_plane,
         reliable=args.reliable,
         seed=args.seed,
+        obs=obs,
+        flight=flight,
     )
+    return topo, trace, config
+
+
+def cmd_simulate(args) -> int:
+    from .sim import run_simulation
+
+    topo, trace, config = _sim_setup(args, flight=args.flight_dump is not None)
 
     def execute():
         if args.shards > 1:
@@ -131,8 +145,6 @@ def cmd_simulate(args) -> int:
 
             telemetry_config = None
             if args.metrics_out is not None or args.trace_out is not None:
-                # A trace request reaches validate_sharded_config, which
-                # explains why sharded runs are metrics-only.
                 telemetry_config = TelemetryConfig(
                     metrics=args.metrics_out is not None,
                     trace=args.trace_out is not None,
@@ -185,14 +197,32 @@ def cmd_simulate(args) -> int:
               f"lookahead {sharded.lookahead_ns} ns, "
               f"{sharded.rounds} rounds, "
               f"{sharded.boundary_messages} boundary messages")
+        sync = sharded.sync_profile
+        if sync is not None:
+            util = sync.get("lookahead_utilization")
+            print(f"  sync: blocked {sync['blocked_s']:.3f} s, "
+                  f"executing {sync['exec_s']:.3f} s, "
+                  f"mean window {sync['mean_window_ns']:.0f} ns, "
+                  f"lookahead utilization "
+                  f"{'n/a' if util is None else f'{util:.1%}'}")
     for key, value in metrics.summary().items():
         print(f"  {key:20s} {value:,.2f}")
     if sharded is not None:
-        if args.metrics_out:
-            import json
+        import json
 
+        if args.trace_out and sharded.trace_document is not None:
+            with open(args.trace_out, "w") as fh:
+                fh.write(json.dumps(sharded.trace_document, sort_keys=True))
+                fh.write("\n")
+            print(f"merged trace written to {args.trace_out} "
+                  f"(open in https://ui.perfetto.dev)")
+        if args.metrics_out:
+            snapshot = dict(sharded.telemetry_snapshot or {})
+            # Surface the sync profile in the snapshot so `repro report`
+            # can render how the shards spent their wall-clock time.
+            snapshot["sync_profile"] = sharded.sync_profile
             with open(args.metrics_out, "w") as fh:
-                json.dump(sharded.telemetry_snapshot, fh, indent=2, sort_keys=True)
+                json.dump(snapshot, fh, indent=2, sort_keys=True)
                 fh.write("\n")
             print(f"merged metrics snapshot written to {args.metrics_out} "
                   f"(pretty-print with: repro report {args.metrics_out})")
@@ -205,7 +235,54 @@ def cmd_simulate(args) -> int:
             telemetry.save_metrics(args.metrics_out)
             print(f"metrics snapshot written to {args.metrics_out} "
                   f"(pretty-print with: repro report {args.metrics_out})")
+    if args.flight_dump is not None and sharded is None:
+        import json
+
+        with open(args.flight_dump, "w") as fh:
+            json.dump(metrics.flight_dump, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"flight-recorder dump written to {args.flight_dump}")
     return 0
+
+
+def cmd_explain_flow(args) -> int:
+    """Causal critical-path report for completed flows (repro.obs)."""
+    from .obs import explain_report
+    from .sim import run_simulation
+
+    topo, trace, config = _sim_setup(args, obs=True)
+    if args.shards > 1:
+        from .distsim import run_sharded_simulation
+
+        result = run_sharded_simulation(
+            topo, trace, config,
+            shards=args.shards, executor=args.shard_executor,
+        )
+        flow_obs = result.metrics.flow_obs or {}
+        duration_ns = result.metrics.duration_ns
+    else:
+        metrics = run_simulation(topo, trace, config)
+        flow_obs = metrics.flow_obs or {}
+        duration_ns = metrics.duration_ns
+    flow_ids = args.flow if args.flow else None
+    lines, errors = explain_report(flow_obs, flow_ids=flow_ids, check=args.check)
+    header = (
+        f"causal FCT decomposition: stack={args.stack} on {topo.name}, "
+        f"{len(flow_obs)}/{len(trace)} flows completed in "
+        f"{duration_ns / 1e6:.2f} ms simulated"
+    )
+    text = "\n".join([header, ""] + lines)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+            if not text.endswith("\n"):
+                fh.write("\n")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    for problem in errors:
+        print(f"error: {problem}", file=sys.stderr)
+    return 1 if errors else 0
 
 
 def cmd_report(args) -> int:
@@ -243,6 +320,26 @@ def cmd_report(args) -> int:
                          else f"> {bounds[-1]:,.0f}")
                 bar = "#" * max(1, round(24 * n / peak))
                 print(f"    {label:>16s} {n:>10,} {bar}")
+    sync = snap.get("sync_profile")
+    if sync:
+        print("sync profile (sharded execution):")
+        util = sync.get("lookahead_utilization")
+        print(f"  rounds              {sync.get('rounds', 0):>16,}")
+        print(f"  boundary messages   {sync.get('boundary_messages', 0):>16,}")
+        if sync.get("lookahead_ns") is not None:
+            print(f"  lookahead           {sync['lookahead_ns']:>13,} ns")
+        if sync.get("mean_window_ns") is not None:
+            print(f"  mean window         {sync['mean_window_ns']:>13,.0f} ns")
+        if util is not None:
+            print(f"  lookahead util      {util:>15.1%}")
+        print(f"  blocked wall        {sync.get('blocked_s', 0.0):>14.3f} s")
+        print(f"  executing wall      {sync.get('exec_s', 0.0):>14.3f} s")
+        for shard in sync.get("shards") or ():
+            if not shard:
+                continue
+            print(f"    shard: rounds={shard['rounds']:,} "
+                  f"in={shard['boundary_in']:,} out={shard['boundary_out']:,} "
+                  f"blocked={shard['blocked_s']:.3f}s exec={shard['exec_s']:.3f}s")
     if series:
         print(f"series: {len(series)} recorded "
               f"(per-link time series; inspect the JSON directly)")
@@ -569,26 +666,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_rates.add_argument("--seed", type=int, default=0)
     p_rates.set_defaults(func=cmd_rates)
 
-    p_sim = sub.add_parser("simulate", help="run the packet-level simulator")
-    add_topology_args(p_sim)
-    p_sim.add_argument("--stack", choices=("r2c2", "tcp", "pfq"), default="r2c2")
-    p_sim.add_argument("--flows", type=int, default=200)
-    p_sim.add_argument("--interarrival-ns", type=int, default=5000)
-    p_sim.add_argument("--mean-bytes", type=int, default=100 * 1024)
-    p_sim.add_argument("--reliable", action="store_true")
-    p_sim.add_argument("--seed", type=int, default=0)
-    p_sim.add_argument("--control-plane", choices=("shared", "per_node"),
+    def add_sim_args(p):
+        add_topology_args(p)
+        p.add_argument("--stack", choices=("r2c2", "tcp", "pfq"), default="r2c2")
+        p.add_argument("--flows", type=int, default=200)
+        p.add_argument("--interarrival-ns", type=int, default=5000)
+        p.add_argument("--mean-bytes", type=int, default=100 * 1024)
+        p.add_argument("--reliable", action="store_true")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--control-plane", choices=("shared", "per_node"),
                        default="shared",
                        help="r2c2 rate-control placement; sharded r2c2 runs "
                             "require per_node")
-    p_sim.add_argument("--shards", type=int, default=1,
+        p.add_argument("--shards", type=int, default=1,
                        help="split the simulation across N event loops "
                             "(repro.distsim); results are byte-identical "
                             "to a serial run")
-    p_sim.add_argument("--shard-executor", choices=("virtual", "process"),
+        p.add_argument("--shard-executor", choices=("virtual", "process"),
                        default="process",
                        help="sharded back end: in-process loops (virtual) "
                             "or one worker process per shard (process)")
+
+    p_sim = sub.add_parser("simulate", help="run the packet-level simulator")
+    add_sim_args(p_sim)
     p_sim.add_argument("--profile", nargs="?", const="-", default=None,
                        metavar="FILE",
                        help="profile the run with cProfile; dump stats to "
@@ -603,7 +703,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a metrics snapshot JSON (counters, "
                             "queue-occupancy histograms, link time series); "
                             "pretty-print with `repro report FILE`")
+    p_sim.add_argument("--flight-dump", dest="flight_dump", default=None,
+                       metavar="FILE",
+                       help="enable the crash flight recorder and write its "
+                            "end-of-run dump JSON here (serial runs only)")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_explain = sub.add_parser(
+        "explain-flow",
+        help="decompose completed flows' FCTs into causal components",
+        description="Run the simulator with causal tracing (repro.obs) and "
+                    "report, for each completed flow, where its FCT went: "
+                    "pacing, serialization, queueing, propagation, "
+                    "control-wait, host-wait and retransmit-wait — the "
+                    "components sum exactly to the measured FCT.",
+    )
+    add_sim_args(p_explain)
+    p_explain.add_argument("--flow", type=int, action="append", default=None,
+                           metavar="ID",
+                           help="flow id to explain (repeatable; default: "
+                                "every completed flow)")
+    p_explain.add_argument("--check", action="store_true",
+                           help="verify every reported decomposition sums "
+                                "to its FCT within 1 ns (exit 1 otherwise)")
+    p_explain.add_argument("--out", default=None, metavar="FILE",
+                           help="write the report here instead of stdout")
+    p_explain.set_defaults(func=cmd_explain_flow)
 
     p_report = sub.add_parser(
         "report", help="pretty-print a metrics snapshot from simulate --metrics"

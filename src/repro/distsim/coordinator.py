@@ -46,6 +46,8 @@ from ..topology.base import Topology
 from ..topology.partition import Partition
 from ..workloads.generator import FlowArrival
 from .executors import make_executor
+from ..obs import ObsSession
+from ..telemetry.trace import merge_trace_documents
 from .merge import (
     merge_flows,
     merge_latency,
@@ -71,6 +73,13 @@ class DistSimResult:
     boundary_messages: int = 0
     shard_sizes: Tuple[int, ...] = ()
     cut_links: int = 0
+    #: Synchronization-protocol profile (rounds, window sizes, lookahead
+    #: utilization, per-shard blocked/executing wall time).  Wall-clock
+    #: quantities live here, never in :attr:`metrics` — the merged
+    #: ``SimMetrics`` must stay byte-identical to the serial run's.
+    sync_profile: Optional[dict] = None
+    #: Merged Chrome trace document (``None`` when tracing was off).
+    trace_document: Optional[dict] = None
 
 
 def validate_sharded_config(config: SimConfig, telemetry_config=None) -> None:
@@ -78,9 +87,15 @@ def validate_sharded_config(config: SimConfig, telemetry_config=None) -> None:
 
     These are structural, not incidental: the shared control plane updates
     one global table at sender-emit time (zero lookahead), PFQ's
-    coordinator applies instantaneous cross-node backpressure, and trace
-    telemetry is a per-process event stream with no exact merge.  Each has
-    an exact-per-shard or serial alternative, named in the error.
+    coordinator applies instantaneous cross-node backpressure, and the
+    flight recorder is a single bounded ring whose eviction order is only
+    meaningful within one event loop.  Each has an exact-per-shard or
+    serial alternative, named in the error.
+
+    Tracing *does* shard: every trace event carries simulated-time order
+    metadata, and the coordinator merges per-shard recorders into a
+    document whose mergeable tracks are byte-identical to a serial trace
+    (see :func:`repro.telemetry.trace.merge_trace_documents`).
 
     Wire loss (``loss_rate > 0``) and auditing (``audit=True``) are
     simulation semantics, not executor policy, and *do* shard: loss draws
@@ -101,11 +116,12 @@ def validate_sharded_config(config: SimConfig, telemetry_config=None) -> None:
             "which has zero lookahead across shards; per-node controllers "
             "are updated by actual broadcast deliveries and shard exactly"
         )
-    if telemetry_config is not None and telemetry_config.trace:
+    if config.flight:
         raise SimulationError(
-            "sharded execution records metrics only: per-shard trace "
-            "recorders have no exact merge; pass a metrics-only "
-            "TelemetryConfig or trace a serial run of the same seed"
+            "sharded execution does not support the flight recorder: its "
+            "bounded ring evicts in one event loop's execution order, "
+            "which K independent loops cannot reproduce; record a serial "
+            "run of the same seed"
         )
 
 
@@ -132,8 +148,10 @@ def run_sharded_simulation(
         executor: ``"virtual"`` (in-process), ``"process"``
             (multiprocessing), or an executor instance.
         telemetry_config: Optional :class:`~repro.telemetry.
-            TelemetryConfig`; must be metrics-only.  The merged snapshot is
-            returned in :attr:`DistSimResult.telemetry_snapshot`.
+            TelemetryConfig`.  The merged metrics snapshot is returned in
+            :attr:`DistSimResult.telemetry_snapshot`; with ``trace=True``
+            the merged trace document (mergeable tracks only) is returned
+            in :attr:`DistSimResult.trace_document`.
         partition: Pre-built :class:`Partition` (overrides *shards* /
             *partition_strategy*).
     """
@@ -188,6 +206,9 @@ def run_sharded_simulation(
         now = 0
         next_grid = min(chunk, horizon)
         duration: Optional[int] = None
+        window_sum_ns = 0
+        util_sum = 0.0
+        util_rounds = 0
         while duration is None:
             t_min: Optional[int] = None
             for t in shard_next:
@@ -217,6 +238,13 @@ def run_sharded_simulation(
 
             reports = executor.run_round(end_ns, messages_by_shard, at_grid)
             result.rounds += 1
+            window_ns = end_ns - now
+            window_sum_ns += window_ns
+            if lookahead is not None:
+                # How much of the safe lookahead horizon each round
+                # actually advanced; grid caps can make this exceed 1.
+                util_sum += min(1.0, window_ns / lookahead)
+                util_rounds += 1
             now = end_ns
 
             completed_total = 0
@@ -245,6 +273,23 @@ def run_sharded_simulation(
         executor.close()
 
     _merge_results(result, topology, trace, config, duration, shard_results)
+    shard_syncs = [
+        s.get("sync") for s in sorted(shard_results, key=lambda r: r["shard_id"])
+    ]
+    result.sync_profile = {
+        "rounds": result.rounds,
+        "boundary_messages": result.boundary_messages,
+        "lookahead_ns": lookahead,
+        "mean_window_ns": (
+            window_sum_ns / result.rounds if result.rounds else None
+        ),
+        "lookahead_utilization": (
+            util_sum / util_rounds if util_rounds else None
+        ),
+        "blocked_s": sum(s["blocked_s"] for s in shard_syncs if s),
+        "exec_s": sum(s["exec_s"] for s in shard_syncs if s),
+        "shards": shard_syncs,
+    }
     result.metrics.wallclock_s = time.perf_counter() - started_wall
     return result
 
@@ -296,6 +341,19 @@ def _merge_results(
             flows=metrics.flows,
             drained=all(s["drained"] for s in shard_results),
             strict=config.audit_strict,
+        )
+
+    shard_obs = [s.get("flow_obs") for s in shard_results]
+    if any(part is not None for part in shard_obs):
+        metrics.flow_obs = ObsSession.merge(
+            [part for part in shard_obs if part is not None]
+        )
+
+    shard_events = [s.get("trace_events") for s in shard_results]
+    if any(events is not None for events in shard_events):
+        result.trace_document = merge_trace_documents(
+            [events or [] for events in shard_events],
+            truncated=any(s.get("trace_truncated") for s in shard_results),
         )
 
     shard_snapshots = [s["telemetry"] for s in shard_results]

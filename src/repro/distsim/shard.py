@@ -20,6 +20,7 @@ and the multiprocessing executor drives the identical object over a pipe
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
@@ -70,22 +71,54 @@ class ShardSim:
         ]
 
         self.telemetry = None
-        if telemetry_config is not None and telemetry_config.metrics:
-            # Shards record metrics only.  Traces are per-process event
-            # streams with no exact merge; the coordinator rejects trace
-            # requests up front.  Per-link series are likewise unmergeable
-            # (merge_snapshots drops series), so shards skip them.
+        if telemetry_config is not None and (
+            telemetry_config.metrics or telemetry_config.trace
+        ):
+            # Per-link series are unmergeable (merge_snapshots drops
+            # series), so shards skip them.  Traces *are* recorded when
+            # asked: every shard keeps per-event (ts_ns, seq) order
+            # metadata and the coordinator merges the streams
+            # deterministically — but only executor-independent tracks
+            # (see telemetry.trace.MERGEABLE_TRACKS), so event-loop batch
+            # spans (windowed rounds, an executor artifact) and link-probe
+            # counters (per-shard partial aggregates) stay out.
             from ..telemetry import Telemetry, TelemetryConfig
 
             self.telemetry = Telemetry(
                 TelemetryConfig(
-                    metrics=True,
-                    trace=False,
+                    metrics=telemetry_config.metrics,
+                    trace=telemetry_config.trace,
                     link_probe_interval_ns=telemetry_config.link_probe_interval_ns,
                     per_link_series=False,
                     packet_sample_every=telemetry_config.packet_sample_every,
+                    trace_eventloop=False,
+                    max_trace_events=telemetry_config.max_trace_events,
                 )
             )
+
+        # Causal critical-path tracing (repro.obs): each shard owns a
+        # session; sender-side waits accumulate in the source node's shard
+        # and travel on the packet as injection-time snapshots, completion
+        # records freeze in the destination node's shard, and the
+        # coordinator unions the (disjoint) completion maps.
+        self.obs = None
+        if config.obs:
+            from ..obs import ObsSession
+
+            self.obs = ObsSession()
+
+        # Per-round synchronization accounting (the distsim sync profiler):
+        # wall-clock blocked/executing split plus boundary-message traffic.
+        # Wall-clock quantities stay on the DistSimResult — never in the
+        # merged SimMetrics — so result dicts remain executor-independent.
+        self._sync = {
+            "rounds": 0,
+            "boundary_in": 0,
+            "boundary_out": 0,
+            "blocked_s": 0.0,
+            "exec_s": 0.0,
+        }
+        self._last_round_exit: Optional[float] = None
 
         self.auditor = None
         if config.audit:
@@ -119,6 +152,7 @@ class ShardSim:
                 # its (build-time) instruments so the merged registry counts
                 # them once, like a serial run.
                 fib_telemetry=(shard_id == 0),
+                obs=self.obs,
             )
         elif config.stack == "tcp":
             self.network = _build_tcp(
@@ -130,6 +164,7 @@ class ShardSim:
                 auditor=self.auditor,
                 owned_nodes=owned_sorted,
                 boundary=self._boundary,
+                obs=self.obs,
             )
             self.control = None
         else:
@@ -144,8 +179,10 @@ class ShardSim:
                 self.control.auditor = self.auditor
 
         self.probes = None
-        if self.telemetry is not None and self.telemetry.enabled:
-            self.probes = self.telemetry.link_probes(self.network)
+        if self.telemetry is not None and self.telemetry.metrics:
+            # trace=False: probe counters are per-shard partial aggregates
+            # with no exact merge, so they stay out of shard traces.
+            self.probes = self.telemetry.link_probes(self.network, trace=False)
 
         # Arrival scheduling mirrors the serial runner: after the build, in
         # trace order, restricted to flows this shard sends.
@@ -195,6 +232,12 @@ class ShardSim:
             event (``None`` if drained), and the number of owned completed
             flows (``None`` unless *at_grid*).
         """
+        entered = time.perf_counter()
+        sync = self._sync
+        if self._last_round_exit is not None:
+            # The gap since the previous round ended is coordinator wait:
+            # barrier synchronization plus message routing.
+            sync["blocked_s"] += entered - self._last_round_exit
         arrived = self.network.arrived
         schedule_at = self.loop.schedule_at
         n_nodes = self._n_nodes
@@ -212,6 +255,12 @@ class ShardSim:
         completed = None
         if at_grid:
             completed = sum(1 for f in self._recv_flows if f.completed_ns is not None)
+        exited = time.perf_counter()
+        sync["rounds"] += 1
+        sync["boundary_in"] += len(messages)
+        sync["boundary_out"] += len(outbox)
+        sync["exec_s"] += exited - entered
+        self._last_round_exit = exited
         return outbox, self.loop.next_event_time(), completed
 
     def finalize(self, duration_ns: int) -> dict:
@@ -273,9 +322,19 @@ class ShardSim:
             "audit": audit,
             "telemetry": (
                 self.telemetry.metrics.snapshot()
-                if self.telemetry is not None and self.telemetry.enabled
+                if self.telemetry is not None and self.telemetry.metrics
                 else None
             ),
+            "trace_events": (
+                self.telemetry.trace.export_events()
+                if self.telemetry is not None and self.telemetry.trace
+                else None
+            ),
+            "trace_truncated": (
+                self.telemetry is not None and self.telemetry.trace.truncated
+            ),
+            "flow_obs": self.obs.results() if self.obs is not None else None,
+            "sync": dict(self._sync),
         }
 
 

@@ -21,7 +21,7 @@ Kinds:
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 from ..errors import ExperimentError
 from .spec import Task
@@ -154,18 +154,21 @@ def _make_trace(task: Task, topology):
     params = task.scenario.params_dict
     workload = params.get("workload", "poisson")
     trace_seed = int(params.get("trace_seed", task.seed))
+    protocol = params.get("protocol", "rps")
     if workload == "poisson":
         return poisson_trace(
             topology,
             int(params.get("n_flows", 100)),
             float(params.get("tau_ns", 5_000)),
             sizes=_make_sizes(params),
+            protocol=protocol,
             seed=trace_seed,
         )
     if workload == "permutation":
         return permutation_load_trace(
             topology,
             float(params.get("load", 0.25)),
+            protocol=protocol,
             seed=trace_seed,
         )
     if workload == "hostpairs":
@@ -197,6 +200,7 @@ def _make_trace(task: Task, topology):
                     dst=dst,
                     size_bytes=sizes.sample(rng),
                     start_ns=start_ns,
+                    protocol=protocol,
                 )
             )
             start_ns += rng.randrange(1, 2 * gap_ns)
@@ -204,7 +208,7 @@ def _make_trace(task: Task, topology):
     raise ExperimentError(f"task {task.key}: unknown workload {workload!r}")
 
 
-def _run_sim(task: Task) -> Dict[str, Any]:
+def _run_sim(task: Task, flight_sink: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     from ..sim import SimConfig, run_simulation
     from ..telemetry import Telemetry, TelemetryConfig
 
@@ -212,6 +216,10 @@ def _run_sim(task: Task) -> Dict[str, Any]:
     topology = _build_topology(task)
     topology, failed_links = _apply_failure_storm(task, topology)
     trace = _make_trace(task, topology)
+    # The flight recorder is an out-of-band diagnostic channel: its dump
+    # goes to *flight_sink*, never into the result dict, which must stay
+    # byte-identical across executors (and the recorder is serial-only).
+    record_flight = flight_sink is not None and task.scenario.shards <= 1
     config = SimConfig(
         stack=params.get("stack", "r2c2"),
         headroom=float(params.get("headroom", 0.05)),
@@ -230,6 +238,7 @@ def _run_sim(task: Task) -> Dict[str, Any]:
         audit=bool(params.get("audit", False)),
         audit_strict=bool(params.get("audit_strict", False)),
         seed=int(params.get("sim_seed", task.seed)),
+        flight=record_flight,
     )
     telemetry_config = TelemetryConfig(
         metrics=True, trace=False, per_link_series=False
@@ -254,6 +263,8 @@ def _run_sim(task: Task) -> Dict[str, Any]:
         telemetry = Telemetry(telemetry_config)
         metrics = run_simulation(topology, trace, config, telemetry=telemetry)
         snapshot = telemetry.metrics.snapshot()
+        if record_flight and metrics.flight_dump is not None:
+            flight_sink["dump"] = metrics.flight_dump
     # The raw event count is an executor artifact (shards schedule extra
     # boundary-injection events), not a simulation result — drop it so the
     # result dict is byte-identical across executors.
@@ -287,6 +298,21 @@ def _run_sim(task: Task) -> Dict[str, Any]:
     return result
 
 
+def _make_objective(params: Mapping[str, Any]):
+    """Resolve the scenario's utility metric (§3.4's operator-chosen
+    objective): ``aggregate`` (default), ``tail`` or ``blended``."""
+    from ..selection import AggregateThroughput, BlendedUtility, TailThroughput
+
+    name = params.get("objective", "aggregate")
+    if name == "aggregate":
+        return AggregateThroughput()
+    if name == "tail":
+        return TailThroughput(percentile=float(params.get("percentile", 0.0)))
+    if name == "blended":
+        return BlendedUtility(alpha=float(params.get("alpha", 0.5)))
+    raise ExperimentError(f"unknown selection objective {name!r}")
+
+
 def _run_selection(task: Task) -> Dict[str, Any]:
     from ..congestion import FlowSpec
     from ..congestion.linkweights import WeightProvider
@@ -311,6 +337,7 @@ def _run_selection(task: Task) -> Dict[str, Any]:
         topology,
         flows,
         protocols=tuple(params.get("protocols", ("rps", "vlb"))),
+        utility=_make_objective(params),
         provider=WeightProvider(topology),
     )
     selector = params.get("selector", "genetic")
@@ -332,6 +359,7 @@ def _run_selection(task: Task) -> Dict[str, Any]:
         )
     return {
         "selector": selector,
+        "objective": params.get("objective", "aggregate"),
         "load": load,
         "utility": float(result.utility),
         "evaluations": int(result.evaluations),
@@ -404,12 +432,20 @@ def _rollup_snapshot(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
     }
 
 
-def execute_task(task: Task, attempt: int = 0) -> Dict[str, Any]:
+def execute_task(
+    task: Task,
+    attempt: int = 0,
+    flight_sink: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Run *task* in-process and return its JSON-able result dict.
 
     ``fail_attempts`` in the scenario params injects a deterministic
     worker failure on attempts ``< fail_attempts`` — the hook the retry
     tests and the CI chaos smoke lean on.
+
+    *flight_sink*, when given for a serial ``sim`` task, arms the flight
+    recorder (:mod:`repro.obs.flight`) and receives its dump under
+    ``"dump"`` — out of band, so result dicts stay executor-identical.
     """
     fail_attempts = int(task.scenario.param("fail_attempts", 0))
     if attempt < fail_attempts:
@@ -417,6 +453,8 @@ def execute_task(task: Task, attempt: int = 0) -> Dict[str, Any]:
             f"injected failure for task {task.key} (attempt {attempt} "
             f"of {fail_attempts} forced failures)"
         )
+    if task.scenario.kind == "sim" and flight_sink is not None:
+        return _run_sim(task, flight_sink=flight_sink)
     executor = _EXECUTORS.get(task.scenario.kind)
     if executor is None:
         raise ExperimentError(f"task {task.key}: unknown kind {task.scenario.kind!r}")

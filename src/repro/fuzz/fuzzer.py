@@ -135,21 +135,42 @@ def _evaluate(
     root_seed: int,
     differential: bool,
     shards: int,
+    flight: bool = False,
 ) -> Tuple[List[OracleVerdict], Tuple, Optional[Dict[str, Any]]]:
     """Execute *scenario* serially and judge it with every oracle.
 
     Returns (verdicts, signature, result).  Used for shrink-candidate
     checks and for re-judging shrunk reproducers; the main loop's batch
     path goes through :func:`repro.experiments.run_campaign` instead.
+
+    With ``flight=True`` the run records a crash flight recorder
+    (:mod:`repro.obs.flight`) and its dump rides on the first failing
+    verdict — the corpus ships the reproducer's last moments alongside
+    the spec.
     """
     task = _task_for(scenario, root_seed)
+    flight_sink: Optional[Dict[str, Any]] = {} if flight else None
     try:
-        result = execute_task(task)
+        result = execute_task(task, flight_sink=flight_sink)
     except Exception as exc:  # any scenario-induced crash is a finding
-        return [crash_verdict(f"{type(exc).__name__}: {exc}")], _CRASH_SIGNATURE, None
+        return (
+            [
+                crash_verdict(
+                    f"{type(exc).__name__}: {exc}",
+                    flight=getattr(exc, "repro_flight", None),
+                )
+            ],
+            _CRASH_SIGNATURE,
+            None,
+        )
     verdicts = sim_result_verdicts(result)
     if differential and sharding_eligible(scenario):
         verdicts.append(_differential(scenario, task, result, shards))
+    if flight_sink is not None and "dump" in flight_sink:
+        for i, verdict in enumerate(verdicts):
+            if not verdict.ok:
+                verdicts[i] = replace(verdict, flight=flight_sink["dump"])
+                break
     return verdicts, sim_signature(result), result
 
 
@@ -293,9 +314,10 @@ def _shrink_and_record(
 
     shrunk = shrink_scenario(scenario, still_fails, max_evals=config.shrink_evals)
     # Re-judge the reproducer so the corpus records its final verdicts and
-    # signature (not the pre-shrink ones).
+    # signature (not the pre-shrink ones), with the flight recorder armed —
+    # the filed entry carries the failing run's last-moments dump.
     verdicts, signature, _result = _evaluate(
-        shrunk.scenario, config.seed, ran_differential, config.shards
+        shrunk.scenario, config.seed, ran_differential, config.shards, flight=True
     )
     entry = CorpusEntry(
         scenario=shrunk.scenario,

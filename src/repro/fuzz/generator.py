@@ -61,6 +61,19 @@ _GRID_DIMS: Tuple[Tuple[int, ...], ...] = (
 #: positive multiple of radix/2, leaves must not exceed the radix).
 _CLOS_SHAPES: Tuple[Tuple[int, int], ...] = ((4, 4), (6, 4), (8, 4), (8, 8), (12, 8))
 
+#: Per-flow routing-protocol axis: mostly the paper's default spraying,
+#: sometimes deterministic (dor/ecmp) or adaptive/non-minimal (wlb/vlb)
+#: routing — moving queueing skew, reorder-buffer depth and the causal
+#: decomposition's per-hop attribution (repro.obs).
+_PROTOCOL_CHOICES = ("rps", "rps", "rps", "dor", "ecmp", "wlb", "vlb")
+#: Selection-objective axis: what a selection-kind scenario maximizes
+#: (repro.selection.objective; §3.4's operator-chosen utility).
+_OBJECTIVE_CHOICES = ("aggregate", "tail", "blended")
+#: Candidate protocol sets for selection searches.
+_SELECTION_PROTOCOL_CHOICES = (("rps", "vlb"), ("rps", "dor"), ("rps", "vlb", "wlb"))
+#: Scenario kind: mostly packet sims, occasionally a protocol-selection
+#: search so the selection objective axis gets fuzzed too.
+_KIND_CHOICES = ("sim", "sim", "sim", "sim", "sim", "selection")
 _LATENCY_CHOICES = (None, None, None, 50, 200, 1000)
 _CAPACITY_CHOICES = (None, None, None, 1e9, 40e9)
 _MTU_CHOICES = (1500, 1500, 1500, 512, 3000)
@@ -110,6 +123,17 @@ def _draw_stack(rng: random.Random, genome: Dict[str, Any]) -> None:
     genome["control_plane"] = rng.choice(_CONTROL_CHOICES)
 
 
+def _draw_routing(rng: random.Random, genome: Dict[str, Any]) -> None:
+    genome["protocol"] = rng.choice(_PROTOCOL_CHOICES)
+
+
+def _draw_selection(rng: random.Random, genome: Dict[str, Any]) -> None:
+    genome["kind"] = rng.choice(_KIND_CHOICES)
+    genome["objective"] = rng.choice(_OBJECTIVE_CHOICES)
+    genome["load"] = rng.choice((0.1, 0.25, 0.5))
+    genome["selection_protocols"] = rng.choice(_SELECTION_PROTOCOL_CHOICES)
+
+
 def _draw_loss(rng: random.Random, genome: Dict[str, Any]) -> None:
     genome["loss_rate"] = rng.choice(_LOSS_CHOICES)
 
@@ -138,6 +162,8 @@ AXES = (
     _draw_link,
     _draw_workload,
     _draw_stack,
+    _draw_routing,
+    _draw_selection,
     _draw_loss,
     _draw_queue,
     _draw_horizon,
@@ -161,11 +187,46 @@ def assemble(genome: Dict[str, Any], name: str) -> Scenario:
     for d in dims:
         n_nodes *= d
 
+    # Selection searches assign routing protocols per flow over
+    # permutation traffic on the full node set, and their candidate pools
+    # may include WLB — both need a coordinate (grid) fabric.
+    kind = genome.get("kind", "sim")
+    if topology == "clos":
+        kind = "sim"
+    if kind == "selection":
+        return Scenario(
+            name=name,
+            kind="selection",
+            topology=topology,
+            dims=dims,
+            capacity_bps=genome["capacity_bps"],
+            params={
+                "load": float(genome["load"]),
+                "selector": "genetic",
+                "objective": genome["objective"],
+                "protocols": list(genome["selection_protocols"]),
+                # Small search budget: fuzzing wants many varied searches
+                # per CPU-second, not converged optimizations.
+                "max_generations": 6,
+                "patience": 3,
+                "search_seed": int(genome["sim_seed"]),
+                "trace_seed": int(genome["trace_seed"]),
+            },
+            replicates=1,
+            shards=1,
+        )
+
     # Clos fabrics number switches as nodes too; only the host-pair
     # workload keeps traffic off the switch "hosts".
     workload = genome["workload"]
     if topology == "clos":
         workload = "hostpairs"
+
+    # WLB's direction choice needs coordinates; on a Clos fall back to
+    # the default spraying.
+    protocol = genome["protocol"]
+    if topology == "clos" and protocol == "wlb":
+        protocol = "rps"
 
     # Storms ride only on grids big enough to stay connected without
     # retry pathologies (Clos host links are single points of attachment).
@@ -187,6 +248,9 @@ def assemble(genome: Dict[str, Any], name: str) -> Scenario:
         # Always bounded: a drawn horizon tightens the safety net.
         "horizon_ns": int(genome["horizon_ns"] or SAFETY_HORIZON_NS),
     }
+    if protocol != "rps":
+        # Default omitted so pre-axis scenarios keep their fingerprints.
+        params["protocol"] = protocol
     if genome["sizes"] == "fixed":
         params["flow_bytes"] = int(genome["flow_bytes"])
     else:
@@ -232,6 +296,10 @@ def genome_of(scenario: Scenario) -> Dict[str, Any]:
     params = scenario.params_dict
     horizon = params.get("horizon_ns")
     return {
+        "kind": scenario.kind if scenario.kind == "selection" else "sim",
+        "objective": params.get("objective", "aggregate"),
+        "load": float(params.get("load", 0.25)),
+        "selection_protocols": tuple(params.get("protocols", ("rps", "vlb"))),
         "topology": scenario.topology,
         "dims": tuple(scenario.dims),
         "radix": int(params.get("radix", 8)),
@@ -246,11 +314,13 @@ def genome_of(scenario: Scenario) -> Dict[str, Any]:
         "mean_bytes": int(params.get("mean_bytes", 8_000)),
         "stack": params.get("stack", "r2c2"),
         "control_plane": params.get("control_plane", "shared"),
+        "protocol": params.get("protocol", "rps"),
         "loss_rate": float(params.get("loss_rate", 0.0)),
         "queue_limit_bytes": params.get("queue_limit_bytes"),
         "horizon_ns": None if horizon in (None, SAFETY_HORIZON_NS) else int(horizon),
         "fail_links": int(params.get("fail_links", 0)),
-        "sim_seed": int(params.get("sim_seed", 0)),
+        # Selection scenarios carry the sim seed as the search seed.
+        "sim_seed": int(params.get("sim_seed", params.get("search_seed", 0))),
         "trace_seed": int(params.get("trace_seed", 0)),
         "fail_seed": int(params.get("fail_seed", 0)),
     }
@@ -269,7 +339,10 @@ def generate_scenario(seed: int, name: str) -> Scenario:
 def sharding_eligible(scenario: Scenario) -> bool:
     """True when the sharded-vs-serial differential can run this scenario
     (mirrors :func:`repro.distsim.validate_sharded_config`: R2C2 needs the
-    per-node control plane; TCP always shards)."""
+    per-node control plane; TCP always shards).  Only packet sims shard —
+    selection searches are water-fill loops, not event simulations."""
+    if scenario.kind != "sim":
+        return False
     params = scenario.params_dict
     if params.get("stack", "r2c2") == "tcp":
         return True

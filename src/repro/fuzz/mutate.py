@@ -23,10 +23,26 @@ def mutate_scenario(scenario: Scenario, seed: int, name: str) -> Scenario:
 
     Re-draws one axis (sometimes two — coupled moves like "new fabric
     *and* new workload" escape local minima) of the parent's genome.
+    Draws that leave the assembled spec unchanged (same choice re-drawn,
+    or an axis this scenario kind ignores — e.g. the selection objective
+    on a packet sim) are retried a few times so mutants almost never
+    waste a fuzz slot re-running the parent.
     """
+    def behavior(spec: Scenario) -> dict:
+        data = spec.content_dict()
+        data.pop("name", None)  # the label is not behavior
+        return data
+
     rng = random.Random(seed)
-    genome = genome_of(scenario)
-    n_axes = 2 if rng.random() < 0.3 else 1
-    for draw in rng.sample(AXES, n_axes):
-        draw(rng, genome)
-    return assemble(genome, name)
+    parent_genome = genome_of(scenario)
+    parent_behavior = behavior(scenario)
+    mutant = scenario
+    for _attempt in range(8):
+        genome = dict(parent_genome)
+        n_axes = 2 if rng.random() < 0.3 else 1
+        for draw in rng.sample(AXES, n_axes):
+            draw(rng, genome)
+        mutant = assemble(genome, name)
+        if behavior(mutant) != parent_behavior:
+            return mutant
+    return mutant

@@ -199,6 +199,11 @@ def shrink_scenario(
                 if result.evals >= max_evals:
                     return result
                 candidate = assemble(candidate_genome, scenario.name)
+                if candidate.fingerprint() == result.scenario.fingerprint():
+                    # The move changed an axis this scenario kind ignores
+                    # (e.g. n_flows on a selection search) — assemble
+                    # collapsed it back to the same spec; spend no eval.
+                    continue
                 result.evals += 1
                 if still_fails(candidate):
                     genome = genome_of(candidate)

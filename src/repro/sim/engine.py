@@ -52,6 +52,20 @@ def _as_time_ns(value, what: str) -> int:
         ) from None
 
 
+class _BatchTee:
+    """Fan a batch-observer callback out to two observers (chainable)."""
+
+    __slots__ = ("_first", "_second")
+
+    def __init__(self, first, second) -> None:
+        self._first = first
+        self._second = second
+
+    def on_batch(self, start_ns: int, end_ns: int, processed: int) -> None:
+        self._first.on_batch(start_ns, end_ns, processed)
+        self._second.on_batch(start_ns, end_ns, processed)
+
+
 class EventLoop:
     """The simulation clock and event queue."""
 
@@ -88,8 +102,15 @@ class EventLoop:
         receives the clock interval the batch covered and its event count.
         Unlike the per-event observer this costs one test per *batch*, so
         it never forces the slow path.
+
+        Attaching while an observer is already installed *tees*: both
+        observers see every batch (the telemetry span hook and the flight
+        recorder can coexist).  ``None`` detaches all of them.
         """
-        self._batch_observer = observer
+        if observer is None or self._batch_observer is None:
+            self._batch_observer = observer
+        else:
+            self._batch_observer = _BatchTee(self._batch_observer, observer)
 
     def schedule(
         self, delay_ns: int, action: Callable[[], None], prio: int = 0

@@ -107,6 +107,14 @@ class SimMetrics:
     #: (``SimConfig(audit=True)``), ``None`` otherwise.  Typed loosely to
     #: keep this module independent of :mod:`repro.validation`.
     audit: Optional[object] = None
+    #: Causal FCT decompositions (``SimConfig(obs=True)``): flow_id ->
+    #: record, see :meth:`repro.obs.ObsSession.results`.  ``None`` when
+    #: tracing is off.  Pure simulated-time integers, so serial and sharded
+    #: runs of one scenario produce identical maps.
+    flow_obs: Optional[Dict[int, dict]] = None
+    #: Flight-recorder dump (``SimConfig(flight=True)``), ``None``
+    #: otherwise; see :meth:`repro.obs.FlightRecorder.dump`.
+    flight_dump: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Flow selections

@@ -160,6 +160,7 @@ class OutputPort:
         loss_rng: Optional[random.Random] = None,
         auditor=None,
         prio: int = 0,
+        flight=None,
     ) -> None:
         self._loop = loop
         self.src = src
@@ -178,6 +179,8 @@ class OutputPort:
         #: optional invariant auditor (repro.validation); None disables all
         #: audit hooks at the cost of one attribute test per packet event.
         self._auditor = auditor
+        #: optional flight recorder (repro.obs); same None discipline.
+        self._flight = flight
         #: probability a transmitted data/ACK packet is corrupted on the
         #: wire (fault injection for reliability tests); broadcasts are
         #: exempt so the control plane stays testable independently.
@@ -198,11 +201,16 @@ class OutputPort:
             self.drops += 1
             if self._auditor is not None:
                 self._auditor.on_port_send(self, packet, accepted=False)
+            if self._flight is not None:
+                self._record_drop(packet)
             if self._on_drop is not None:
                 self._on_drop(packet)
             return False
         if self._auditor is not None:
             self._auditor.on_port_send(self, packet, accepted=True)
+        obs = packet.obs
+        if obs is not None:
+            obs.enq_ns = self._loop.now
         occupancy = self.queue.occupancy_bytes
         if occupancy > self.max_occupancy_bytes:
             self.max_occupancy_bytes = occupancy
@@ -222,6 +230,8 @@ class OutputPort:
             self.drops += 1
             if self._auditor is not None:
                 self._auditor.on_port_send(self, packet, accepted=False)
+            if self._flight is not None:
+                self._record_drop(packet)
             if self._on_drop is not None:
                 self._on_drop(packet)
             return False
@@ -254,6 +264,12 @@ class OutputPort:
         self.packets_sent += 1
         if self._auditor is not None:
             self._auditor.on_transmit_start(self, packet, duration)
+        obs = packet.obs
+        if obs is not None:
+            wait = self._loop.now - obs.enq_ns
+            obs.queue_ns += wait
+            obs.ser_ns += duration
+            obs.hops.append((self.src, self.dst, wait))
         return duration, packet
 
     def _start_next(self) -> None:
@@ -274,10 +290,23 @@ class OutputPort:
             self.wire_losses += 1
             if self._auditor is not None:
                 self._auditor.on_wire_loss(self, packet)
+            if self._flight is not None:
+                self._flight.record(
+                    "network",
+                    "wire_loss",
+                    self._loop.now,
+                    src=self.src,
+                    dst=self.dst,
+                    flow=packet.flow_id,
+                    seq=packet.seq,
+                )
         else:
             # Propagation happens in parallel with the next serialization.
             if self._auditor is not None:
                 self._auditor.on_propagate(self, packet)
+            obs = packet.obs
+            if obs is not None:
+                obs.last_finish_ns = self._loop.now
             self._loop.schedule(
                 self._latency_ns, lambda p=packet: self._deliver(p), self.prio
             )
@@ -287,6 +316,18 @@ class OutputPort:
         """Restart transmission after a pause/resume changed the queue."""
         if not self._busy:
             self._start_next()
+
+    def _record_drop(self, packet: SimPacket) -> None:
+        self._flight.record(
+            "network",
+            "queue_drop",
+            self._loop.now,
+            src=self.src,
+            dst=self.dst,
+            flow=packet.flow_id,
+            kind=packet.kind,
+            seq=packet.seq,
+        )
 
     @property
     def busy(self) -> bool:
@@ -314,6 +355,7 @@ class RackNetwork:
         auditor=None,
         owned_nodes=None,
         boundary: Optional[Callable[[int, NodeId, SimPacket], None]] = None,
+        flight=None,
     ) -> None:
         """Build the fabric (or, for sharded runs, one shard's slice of it).
 
@@ -337,6 +379,7 @@ class RackNetwork:
         self._fib = fib
         self._on_drop = on_drop
         self._auditor = auditor
+        self._flight = flight
         owned = None if owned_nodes is None else set(owned_nodes)
         if owned is not None and boundary is None:
             raise SimulationError("owned_nodes requires a boundary callback")
@@ -379,6 +422,7 @@ class RackNetwork:
                 loss_rng=loss_rng,
                 auditor=auditor,
                 prio=link_prio(link.src, link.dst, topology.n_nodes),
+                flight=flight,
             )
         if auditor is not None:
             auditor.attach_network(self)
@@ -443,6 +487,12 @@ class RackNetwork:
             self._deliver_local(node, packet)
             self._forward_broadcast(node, packet, is_source=False)
             return
+        obs = packet.obs
+        if obs is not None and obs.last_finish_ns is not None:
+            # Receiver-side propagation accounting: exact for cut ports
+            # too, whose local latency is zero (the true latency is baked
+            # into the boundary arrival time).
+            obs.prop_ns += self._loop.now - obs.last_finish_ns
         packet.hop += 1
         if packet.at_destination():
             self._deliver_local(node, packet)

@@ -47,6 +47,7 @@ class SimPacket:
         "tree_id",
         "payload",
         "sent_ns",
+        "obs",
     )
 
     def __init__(
@@ -73,6 +74,9 @@ class SimPacket:
         self.tree_id = tree_id
         self.payload = payload
         self.sent_ns = sent_ns
+        #: optional causal-tracing record (repro.obs.PacketObs); None on
+        #: every default path — hot-path hooks guard on ``is not None``.
+        self.obs = None
 
     def current_node(self) -> NodeId:
         """Node the packet is at (along its source route)."""

@@ -85,6 +85,16 @@ class SimConfig:
     #: at the point of detection; otherwise collect violations into
     #: ``metrics.audit.violations``.
     audit_strict: bool = True
+    #: Causal critical-path tracing (:mod:`repro.obs`): decompose every
+    #: completed flow's FCT into its causal components
+    #: (``metrics.flow_obs``).  Off by default — the instrumented hot
+    #: paths then pay only an ``is not None`` branch.
+    obs: bool = False
+    #: Crash flight recorder (:mod:`repro.obs.flight`): keep bounded rings
+    #: of recent structured events per subsystem.  On a crash the dump is
+    #: attached to the exception as ``exc.repro_flight``; on success it
+    #: lands in ``metrics.flight_dump``.
+    flight: bool = False
 
     def __post_init__(self) -> None:
         if self.stack not in STACKS:
@@ -137,6 +147,17 @@ def run_simulation(
     if len(flows) != len(trace):
         raise SimulationError("duplicate flow ids in trace")
 
+    obs_session = None
+    flight = None
+    if config.obs or config.flight:
+        from ..obs import FlightBatchObserver, FlightRecorder, ObsSession
+
+        if config.obs:
+            obs_session = ObsSession()
+        if config.flight:
+            flight = FlightRecorder()
+            loop.attach_batch_observer(FlightBatchObserver(flight))
+
     auditor = None
     if config.audit:
         # Imported lazily: repro.validation imports this module for its
@@ -145,6 +166,7 @@ def run_simulation(
 
         auditor = InvariantAuditor(strict=config.audit_strict, telemetry=telemetry)
         auditor.attach_loop(loop)
+        auditor.flight = flight
 
     probes = None
     if telemetry is not None and telemetry.trace and telemetry.config.trace_eventloop:
@@ -153,46 +175,69 @@ def run_simulation(
         loop.attach_batch_observer(EventLoopTracer(telemetry.trace))
 
     started_wall = time.perf_counter()
-    if config.stack == "r2c2":
-        network, control = _build_r2c2(
-            topology, loop, flows, metrics, config, provider, auditor, telemetry
-        )
-    elif config.stack == "tcp":
-        network = _build_tcp(topology, loop, flows, metrics, config, auditor)
-        control = None
-    else:
-        network = _build_pfq(topology, loop, flows, metrics, config, auditor)
-        control = None
-    if telemetry is not None and telemetry.enabled:
-        probes = telemetry.link_probes(network)
-    if auditor is not None:
-        for stack in network.stack_at:
-            if stack is not None:
-                stack.auditor = auditor
-        if control is not None:
-            control.auditor = auditor
+    try:
+        if config.stack == "r2c2":
+            network, control = _build_r2c2(
+                topology,
+                loop,
+                flows,
+                metrics,
+                config,
+                provider,
+                auditor,
+                telemetry,
+                obs=obs_session,
+                flight=flight,
+            )
+        elif config.stack == "tcp":
+            network = _build_tcp(
+                topology, loop, flows, metrics, config, auditor,
+                obs=obs_session, flight=flight,
+            )
+            control = None
+        else:
+            network = _build_pfq(topology, loop, flows, metrics, config, auditor)
+            control = None
+        if telemetry is not None and telemetry.enabled:
+            probes = telemetry.link_probes(network)
+        if auditor is not None:
+            for stack in network.stack_at:
+                if stack is not None:
+                    stack.auditor = auditor
+            if control is not None:
+                control.auditor = auditor
+        if flight is not None and control is not None:
+            control.flight = flight
 
-    for arrival in trace:
-        flow = flows[arrival.flow_id]
-        loop.schedule_at(
-            arrival.start_ns,
-            lambda f=flow: network.stack_at[f.src].start_flow(f),
-        )
+        for arrival in trace:
+            flow = flows[arrival.flow_id]
+            loop.schedule_at(
+                arrival.start_ns,
+                lambda f=flow: network.stack_at[f.src].start_flow(f),
+            )
 
-    horizon = config.horizon_ns
-    if horizon is None:
-        horizon = _default_horizon(topology, trace)
-    chunk = max(config.progress_chunk_ns, 1)
-    while loop.now < horizon:
-        loop.run_batch(until_ns=min(loop.now + chunk, horizon))
-        # Pulled (not scheduled) so telemetry never perturbs the event heap
-        # or the termination conditions below.
-        if probes is not None:
-            probes.maybe_sample(loop.now)
-        if all(f.completed for f in flows.values()):
-            break
-        if loop.pending() == 0:
-            break
+        horizon = config.horizon_ns
+        if horizon is None:
+            horizon = _default_horizon(topology, trace)
+        chunk = max(config.progress_chunk_ns, 1)
+        while loop.now < horizon:
+            loop.run_batch(until_ns=min(loop.now + chunk, horizon))
+            # Pulled (not scheduled) so telemetry never perturbs the event
+            # heap or the termination conditions below.
+            if probes is not None:
+                probes.maybe_sample(loop.now)
+            if all(f.completed for f in flows.values()):
+                break
+            if loop.pending() == 0:
+                break
+    except Exception as exc:
+        # Attach the flight dump to the crash so fuzzers and campaign
+        # runners can preserve the last moments without re-running.
+        if flight is not None and not hasattr(exc, "repro_flight"):
+            exc.repro_flight = flight.dump(
+                reason=f"{type(exc).__name__}: {exc}"
+            )
+        raise
 
     metrics.flows = list(flows.values())
     metrics.max_queue_occupancy_bytes = network.max_queue_occupancies()
@@ -218,6 +263,10 @@ def run_simulation(
         if probes is not None:
             probes.sample(loop.now)  # final sample, even for tiny runs
         _finalize_telemetry(telemetry, metrics)
+    if obs_session is not None:
+        metrics.flow_obs = obs_session.results()
+    if flight is not None:
+        metrics.flight_dump = flight.dump()
     return metrics
 
 
@@ -269,6 +318,8 @@ def _build_r2c2(
     owned_nodes=None,
     boundary=None,
     fib_telemetry=True,
+    obs=None,
+    flight=None,
 ):
     """Wire up the R2C2 stack; ``owned_nodes``/``boundary`` restrict the
     build to one shard's slice of the fabric (see :mod:`repro.distsim`).
@@ -323,6 +374,7 @@ def _build_r2c2(
         auditor=auditor,
         owned_nodes=owned_nodes,
         boundary=boundary,
+        flight=flight,
     )
     network_holder["net"] = network
     provider = provider if provider is not None else WeightProvider(topology)
@@ -356,6 +408,8 @@ def _build_r2c2(
         n_trees=config.n_broadcast_trees,
         metrics=metrics,
         telemetry=telemetry,
+        obs=obs,
+        flight=flight,
     )
     nodes = topology.nodes() if owned_nodes is None else sorted(owned_nodes)
     for node in nodes:
@@ -372,7 +426,8 @@ def _build_r2c2(
 
 
 def _build_tcp(
-    topology, loop, flows, metrics, config, auditor=None, owned_nodes=None, boundary=None
+    topology, loop, flows, metrics, config, auditor=None, owned_nodes=None,
+    boundary=None, obs=None, flight=None,
 ):
     limit = config.tcp_queue_limit_bytes
     network = RackNetwork(
@@ -384,6 +439,7 @@ def _build_tcp(
         auditor=auditor,
         owned_nodes=owned_nodes,
         boundary=boundary,
+        flight=flight,
     )
     ecmp = EcmpSinglePath(topology)
     nodes = topology.nodes() if owned_nodes is None else sorted(owned_nodes)
@@ -396,6 +452,8 @@ def _build_tcp(
             ecmp,
             mtu_payload=config.mtu_payload,
             metrics=metrics,
+            obs=obs,
+            flight=flight,
         )
     return network
 

@@ -76,6 +76,8 @@ class SharedControlPlane:
         #: optional invariant auditor (repro.validation); checks every
         #: recomputed allocation against link capacities when installed.
         self.auditor = None
+        #: optional crash flight recorder (repro.obs.flight).
+        self.flight = None
 
     @property
     def provider(self):
@@ -104,6 +106,14 @@ class SharedControlPlane:
             self.controller.recompute(self.loop.now)
             if self.auditor is not None:
                 self.auditor.audit_allocation(self.controller.allocation)
+            if self.flight is not None:
+                allocation = self.controller.allocation
+                self.flight.record(
+                    "controller",
+                    "epoch",
+                    self.loop.now,
+                    flows=0 if allocation is None else len(allocation.rates_bps),
+                )
             for stack in self._stacks:
                 stack.on_epoch()
             self.loop.schedule(interval, tick)
@@ -191,6 +201,8 @@ class PerNodeControlPlane:
         self._epoch_scheduled = False
         #: optional invariant auditor (repro.validation).
         self.auditor = None
+        #: optional crash flight recorder (repro.obs.flight).
+        self.flight = None
 
     @property
     def provider(self):
@@ -220,6 +232,10 @@ class PerNodeControlPlane:
                 controller.recompute(self.loop.now)
                 if self.auditor is not None:
                     self.auditor.audit_allocation(controller.allocation)
+            if self.flight is not None:
+                self.flight.record(
+                    "controller", "epoch", self.loop.now, nodes=len(self.controllers)
+                )
             for stack in self._stacks:
                 stack.on_epoch()
             self.loop.schedule(interval, tick)
@@ -292,9 +308,15 @@ class R2C2Stack(HostStack):
         n_trees: int = 4,
         metrics=None,
         telemetry=None,
+        obs=None,
+        flight=None,
     ) -> None:
         super().__init__(node, loop, network)
         self.control = control
+        #: optional causal-tracing session (repro.obs) and crash flight
+        #: recorder; None on every default path.
+        self._obs = obs
+        self._flight = flight
         self._flows = flows_by_id
         self._mtu = mtu_payload
         # Test-only planted fault (the fuzzer's end-to-end exercise): with
@@ -365,6 +387,16 @@ class R2C2Stack(HostStack):
             tenant=flow.tenant,
         )
         self.control.on_flow_started(spec, self.node)
+        if self._flight is not None:
+            self._flight.record(
+                "stack",
+                "flow_start",
+                self.loop.now,
+                flow=flow.flow_id,
+                src=flow.src,
+                dst=flow.dst,
+                size=flow.size_bytes,
+            )
         self._broadcast(flow, _EVENT_START, spec)
         self._active_local.add(flow.flow_id)
         if flow.app_rate_bps is not None:
@@ -425,6 +457,15 @@ class R2C2Stack(HostStack):
         self.broadcast_retransmissions += 1
         if self._ctr_bcast_retransmits:
             self._ctr_bcast_retransmits.inc()
+        if self._flight is not None:
+            self._flight.record(
+                "stack",
+                "broadcast_retransmit",
+                self.loop.now,
+                flow=flow.flow_id,
+                dropped_at=dropped_at,
+                seq=seq,
+            )
         if self._tel_trace:
             self._tel_trace.instant(
                 "retransmit",
@@ -441,7 +482,11 @@ class R2C2Stack(HostStack):
         rate = self.control.rate_for(flow.flow_id, self.node)
         if rate <= 0:
             self._stalled.add(flow.flow_id)
+            if self._obs is not None:
+                self._obs.on_stall(flow.flow_id, self.loop.now)
             return
+        if self._obs is not None:
+            self._obs.on_resume(flow.flow_id, self.loop.now)
         payload = min(self._mtu, flow.remaining_bytes)
         available = flow.produced_bytes(self.loop.now) - flow.bytes_sent
         if available < payload:
@@ -450,6 +495,8 @@ class R2C2Stack(HostStack):
             assert flow.app_rate_bps is not None
             needed = payload - available
             delay = max(1, int(needed * 8 * 1e9 / flow.app_rate_bps))
+            if self._obs is not None:
+                self._obs.on_host_wait(flow.flow_id, delay)
             self.loop.schedule(delay, lambda f=flow: self._emit(f))
             return
         size = data_packet_size(payload)
@@ -468,6 +515,8 @@ class R2C2Stack(HostStack):
         )
         flow.next_seq += 1
         flow.bytes_sent += payload
+        if self._obs is not None:
+            self._obs.on_inject(flow, packet, self.loop.now)
         self.network.inject(self.node, packet)
 
         if flow.sender_done:
@@ -595,4 +644,14 @@ class R2C2Stack(HostStack):
             done_at = max(1, flow.size_bytes - self._mtu)
         if flow.bytes_received >= done_at and flow.completed_ns is None:
             flow.completed_ns = self.loop.now
+            if self._flight is not None:
+                self._flight.record(
+                    "stack",
+                    "flow_complete",
+                    self.loop.now,
+                    flow=flow.flow_id,
+                    node=self.node,
+                )
+        if packet.obs is not None and self._obs is not None:
+            self._obs.on_delivered(flow, packet, self.loop.now)
         self._audit_flow(flow)

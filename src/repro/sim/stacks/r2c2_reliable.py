@@ -64,7 +64,11 @@ class R2C2ReliableStack(R2C2Stack):
         rate = self.control.rate_for(flow.flow_id, self.node)
         if rate <= 0:
             self._stalled.add(flow.flow_id)
+            if self._obs is not None:
+                self._obs.on_stall(flow.flow_id, self.loop.now)
             return
+        if self._obs is not None:
+            self._obs.on_resume(flow.flow_id, self.loop.now)
 
         seq = sender.next_segment(self.loop.now)
         if seq is None:
@@ -72,9 +76,10 @@ class R2C2ReliableStack(R2C2Stack):
             # earliest segment becomes eligible for retransmission.
             wake = sender.next_timeout_ns(self.loop.now)
             if wake is not None:
-                self.loop.schedule(
-                    max(1, wake - self.loop.now), lambda f=flow: self._emit(f)
-                )
+                delay = max(1, wake - self.loop.now)
+                if self._obs is not None:
+                    self._obs.on_rto_wait(flow.flow_id, delay)
+                self.loop.schedule(delay, lambda f=flow: self._emit(f))
             return
 
         payload = self._segment_payload(flow, seq)
@@ -99,6 +104,8 @@ class R2C2ReliableStack(R2C2Stack):
             flow.bytes_sent += payload
         else:
             self.retransmitted_bytes += payload
+        if self._obs is not None:
+            self._obs.on_inject(flow, packet, self.loop.now)
         self.network.inject(flow.src, packet)
 
         # Retransmissions pay the same token cost: pacing applies to bytes
@@ -164,6 +171,16 @@ class R2C2ReliableStack(R2C2Stack):
             flow.bytes_received += packet.payload
             if receiver.complete and flow.completed_ns is None:
                 flow.completed_ns = self.loop.now
+                if self._flight is not None:
+                    self._flight.record(
+                        "stack",
+                        "flow_complete",
+                        self.loop.now,
+                        flow=flow.flow_id,
+                        node=self.node,
+                    )
+        if packet.obs is not None and self._obs is not None:
+            self._obs.on_delivered(flow, packet, self.loop.now)
         self._audit_flow(flow)
         ack_info = receiver.ack_info()
         ack = SimPacket(

@@ -43,8 +43,14 @@ from .registry import (
     TimeSeries,
     merge_snapshots,
 )
-from .signature import log2_bucket, sim_signature
+from .signature import (
+    SIGNATURE_FEATURES,
+    SIGNATURE_SCHEMA_VERSION,
+    log2_bucket,
+    sim_signature,
+)
 from .trace import (
+    MERGEABLE_TRACKS,
     NULL_TRACE,
     TRACK_BROADCAST,
     TRACK_CONTROLLER,
@@ -55,17 +61,22 @@ from .trace import (
     EventLoopTracer,
     NullTrace,
     TraceRecorder,
+    canonical_trace_events,
+    merge_trace_documents,
 )
 
 __all__ = [
     "BYTE_BUCKETS",
+    "canonical_trace_events",
     "Counter",
     "EventLoopTracer",
     "Gauge",
     "Histogram",
     "LinkProbeSet",
     "log2_bucket",
+    "MERGEABLE_TRACKS",
     "merge_snapshots",
+    "merge_trace_documents",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_TRACE",
@@ -73,6 +84,8 @@ __all__ = [
     "NullTrace",
     "QUEUE_BUCKETS",
     "RATIO_BUCKETS",
+    "SIGNATURE_FEATURES",
+    "SIGNATURE_SCHEMA_VERSION",
     "sim_signature",
     "Telemetry",
     "TelemetryConfig",
@@ -131,12 +144,18 @@ class Telemetry:
         """True when at least one sink records anything."""
         return bool(self.metrics) or bool(self.trace)
 
-    def link_probes(self, network) -> LinkProbeSet:
-        """Build the link-probe sampler for *network*."""
+    def link_probes(self, network, trace: bool = True) -> LinkProbeSet:
+        """Build the link-probe sampler for *network*.
+
+        ``trace=False`` keeps the probe's counter events out of the trace
+        even when tracing is on — shards use this because per-probe-set
+        aggregates are per-shard partials with no exact merge (see
+        :data:`~repro.telemetry.trace.MERGEABLE_TRACKS`).
+        """
         return LinkProbeSet(
             network,
             self.metrics,
-            trace=self.trace,
+            trace=self.trace if trace else None,
             interval_ns=self.config.link_probe_interval_ns,
             per_link_series=self.config.per_link_series,
         )

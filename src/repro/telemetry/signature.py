@@ -25,7 +25,33 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Tuple
 
-__all__ = ["log2_bucket", "sim_signature"]
+__all__ = [
+    "SIGNATURE_FEATURES",
+    "SIGNATURE_SCHEMA_VERSION",
+    "log2_bucket",
+    "sim_signature",
+]
+
+#: Version of the signature layout.  The fuzz corpus stores signatures on
+#: disk and deduplicates against them across sessions, so the feature set
+#: below is **pinned**: adding, removing, renaming or reordering a feature
+#: (or changing any feature's quantization) invalidates every stored
+#: signature and MUST bump this number — the schema test computes a digest
+#: of known-input signatures and fails loudly when the layout drifts
+#: without a bump.
+SIGNATURE_SCHEMA_VERSION = 1
+
+#: The pinned feature names, in emission order (see :func:`sim_signature`).
+SIGNATURE_FEATURES = (
+    "completed",
+    "queue_p99",
+    "reorder",
+    "drops",
+    "losses",
+    "epochs",
+    "bcast",
+    "audit",
+)
 
 
 def log2_bucket(value: float) -> int:
@@ -72,4 +98,5 @@ def sim_signature(result: Mapping[str, Any]) -> Tuple[Tuple[str, int], ...]:
         ("bcast", log2_bucket(summary.get("broadcast_bytes", 0) / 1024.0)),
         ("audit", 0 if result.get("audit", {}).get("ok", True) else 1),
     )
+    assert tuple(name for name, _ in features) == SIGNATURE_FEATURES
     return features

@@ -44,6 +44,19 @@ _TRACK_NAMES = {
     TRACK_VALIDATION: "validation",
 }
 
+#: Tracks whose events are pure functions of the simulation (content and
+#: simulated timestamps identical between serial and sharded executions).
+#: TRACK_SIM spans describe event-loop *batches* (progress chunks serially,
+#: conservative windows sharded) and TRACK_LINKS counters are per-probe-set
+#: aggregates (one set per shard) — both are executor artifacts, so shard
+#: telemetry never records them and merged documents never contain them.
+MERGEABLE_TRACKS = (
+    TRACK_CONTROLLER,
+    TRACK_BROADCAST,
+    TRACK_PACKETS,
+    TRACK_VALIDATION,
+)
+
 
 def _us(ts_ns: int) -> float:
     """Nanoseconds -> the trace format's microsecond unit."""
@@ -62,6 +75,12 @@ class TraceRecorder:
 
     def __init__(self, max_events: int = 1_000_000) -> None:
         self._events: List[dict] = []
+        #: per-event ``(ts_ns, seq)`` order metadata, parallel to
+        #: ``_events`` — the substrate for the deterministic sharded merge
+        #: (:func:`merge_trace_documents`).  Metadata events carry -1 so
+        #: they sort before all simulated time.
+        self._order: List[tuple] = []
+        self._seq = 0
         self._max_events = max_events
         self.truncated = False
         self._pid = 0
@@ -77,11 +96,13 @@ class TraceRecorder:
     # ------------------------------------------------------------------
     # Event emission
     # ------------------------------------------------------------------
-    def _append(self, event: dict) -> None:
+    def _append(self, event: dict, ts_ns: int = -1) -> None:
         if len(self._events) >= self._max_events:
             self.truncated = True
             return
         self._events.append(event)
+        self._order.append((ts_ns, self._seq))
+        self._seq += 1
 
     def _meta_thread_name(self, tid: int, name: str) -> None:
         self._append(
@@ -115,7 +136,7 @@ class TraceRecorder:
         }
         if args:
             event["args"] = args
-        self._append(event)
+        self._append(event, ts_ns)
 
     def instant(
         self,
@@ -137,7 +158,7 @@ class TraceRecorder:
         }
         if args:
             event["args"] = args
-        self._append(event)
+        self._append(event, ts_ns)
 
     def counter(
         self,
@@ -156,7 +177,8 @@ class TraceRecorder:
                 "pid": self._pid,
                 "tid": tid,
                 "args": dict(values),
-            }
+            },
+            ts_ns,
         )
 
     # ------------------------------------------------------------------
@@ -165,6 +187,18 @@ class TraceRecorder:
     def events(self) -> List[dict]:
         """The recorded events (mutating the list is on you)."""
         return self._events
+
+    def export_events(self) -> List[tuple]:
+        """``(ts_ns, seq, event)`` triples with recording-order metadata.
+
+        The hand-off format for sharded runs: each shard exports its
+        triples and the coordinator merges them deterministically with
+        :func:`merge_trace_documents`.
+        """
+        return [
+            (ts_ns, seq, event)
+            for (ts_ns, seq), event in zip(self._order, self._events)
+        ]
 
     def to_document(self) -> dict:
         """The full trace document (JSON object format)."""
@@ -236,6 +270,9 @@ class NullTrace:
     def events(self) -> List[dict]:
         return []
 
+    def export_events(self) -> List[tuple]:
+        return []
+
     def to_document(self) -> dict:
         return {"traceEvents": [], "displayTimeUnit": "ns", "otherData": {}}
 
@@ -249,3 +286,61 @@ class NullTrace:
 
 
 NULL_TRACE = NullTrace()
+
+
+def merge_trace_documents(
+    shard_events: List[List[tuple]], truncated: bool = False
+) -> dict:
+    """Merge per-shard :meth:`TraceRecorder.export_events` lists.
+
+    Events sort by ``(ts_ns, seq, shard)`` — simulated time first, then
+    each recorder's own appending order, then shard index.  Every quantity
+    is a pure function of the simulation, so the merge is deterministic
+    across executors and repeat runs.  Thread-name metadata events (every
+    shard emits the full set at construction) are deduplicated by track.
+
+    Note the merged *serialization order* is not the serial recorder's
+    append order (a serial recorder appends sampled packet spans at
+    delivery time but stamps them with their injection ``ts``); compare
+    documents with :func:`canonical_trace_events`, which content-sorts.
+    """
+    tagged = []
+    for shard, events in enumerate(shard_events):
+        for ts_ns, seq, event in events:
+            tagged.append((ts_ns, seq, shard, event))
+    tagged.sort(key=lambda t: (t[0], t[1], t[2]))
+    merged = []
+    seen_meta = set()
+    for _ts_ns, _seq, _shard, event in tagged:
+        if event.get("ph") == "M":
+            key = (event.get("tid"), json.dumps(event.get("args"), sort_keys=True))
+            if key in seen_meta:
+                continue
+            seen_meta.add(key)
+        merged.append(event)
+    return {
+        "traceEvents": merged,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.telemetry",
+            "clock": "simulated-ns",
+            "truncated": truncated,
+        },
+    }
+
+
+def canonical_trace_events(doc: dict, tracks=None) -> List[str]:
+    """Content-sorted projection of a trace document, for comparisons.
+
+    Returns the JSON rendering of every event (restricted to *tracks* when
+    given, e.g. :data:`MERGEABLE_TRACKS`), sorted — an order-insensitive
+    equality surface.  Two documents describe the same trace iff their
+    projections are byte-identical.
+    """
+    events = []
+    for event in doc["traceEvents"]:
+        if tracks is not None and event.get("tid") not in tracks:
+            continue
+        events.append(json.dumps(event, sort_keys=True))
+    events.sort()
+    return events

@@ -88,6 +88,10 @@ class InvariantAuditor:
         self.violations: List[str] = []
         self._loop = None
         self._network = None
+        #: optional crash flight recorder (repro.obs.flight); every
+        #: violation is recorded to the "auditor" ring before strict mode
+        #: raises, so the dump attached to the crash includes it.
+        self.flight = None
         # Telemetry sinks (repro.telemetry): violations become a counter
         # and trace instants so an audited run's anomalies line up with
         # the epoch/broadcast/link timeline.  Falsy when telemetry is off.
@@ -146,6 +150,13 @@ class InvariantAuditor:
                 self._loop.now if self._loop is not None else 0,
                 tid=TRACK_VALIDATION,
                 args={"message": message},
+            )
+        if self.flight is not None:
+            self.flight.record(
+                "auditor",
+                "violation",
+                self._loop.now if self._loop is not None else 0,
+                message=message,
             )
         if self.strict:
             raise InvariantViolation(message)

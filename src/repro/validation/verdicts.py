@@ -43,10 +43,18 @@ class OracleVerdict:
     oracle: str
     ok: bool
     details: Tuple[str, ...] = field(default_factory=tuple)
+    #: Optional flight-recorder dump (:mod:`repro.obs.flight`) captured at
+    #: failure time — the run's last-moments context, shipped with corpus
+    #: entries so reproducers can be triaged without re-running.  Excluded
+    #: from comparison: two verdicts agree iff they judge the same way.
+    flight: Optional[dict] = field(default=None, compare=False)
 
     def to_dict(self) -> dict:
         """JSON-able form (corpus entries persist failing verdicts)."""
-        return {"oracle": self.oracle, "ok": self.ok, "details": list(self.details)}
+        data = {"oracle": self.oracle, "ok": self.ok, "details": list(self.details)}
+        if self.flight is not None:
+            data["flight"] = self.flight
+        return data
 
     @staticmethod
     def from_dict(data: Mapping[str, Any]) -> "OracleVerdict":
@@ -55,14 +63,17 @@ class OracleVerdict:
             oracle=str(data["oracle"]),
             ok=bool(data["ok"]),
             details=tuple(str(d) for d in data.get("details", ())),
+            flight=data.get("flight"),
         )
 
 
-def crash_verdict(error: Optional[str]) -> OracleVerdict:
+def crash_verdict(
+    error: Optional[str], flight: Optional[dict] = None
+) -> OracleVerdict:
     """Failing when the scenario raised; *error* is the exception string."""
     if error is None:
         return OracleVerdict(oracle="crash", ok=True)
-    return OracleVerdict(oracle="crash", ok=False, details=(error,))
+    return OracleVerdict(oracle="crash", ok=False, details=(error,), flight=flight)
 
 
 def audit_verdict(result: Mapping[str, Any]) -> OracleVerdict:

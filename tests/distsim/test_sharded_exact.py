@@ -126,20 +126,20 @@ def test_rejects_shared_control_plane():
         validate_sharded_config(SimConfig(stack="r2c2", control_plane="shared"))
 
 
-def test_rejects_pfq_and_trace():
+def test_rejects_pfq_and_flight():
     with pytest.raises(SimulationError, match="pfq"):
         validate_sharded_config(SimConfig(stack="pfq"))
-    with pytest.raises(SimulationError, match="metrics only"):
-        validate_sharded_config(
-            SimConfig(stack="tcp"),
-            TelemetryConfig(metrics=True, trace=True),
-        )
+    with pytest.raises(SimulationError, match="flight"):
+        validate_sharded_config(SimConfig(stack="tcp", flight=True))
 
 
-def test_accepts_loss_and_audit():
-    """Wire loss and auditing are simulation semantics and shard exactly."""
+def test_accepts_loss_audit_and_trace():
+    """Loss, auditing and tracing are simulation semantics and shard exactly."""
     validate_sharded_config(SimConfig(stack="tcp", loss_rate=0.01))
     validate_sharded_config(SimConfig(stack="tcp", audit=True))
+    validate_sharded_config(
+        SimConfig(stack="tcp"), TelemetryConfig(metrics=True, trace=True)
+    )
 
 
 @pytest.mark.parametrize("shards", [2, 4])

@@ -31,8 +31,25 @@ seeds = st.integers(min_value=0, max_value=2**63 - 1)
 
 def _check_runnable(scenario: Scenario) -> None:
     """A spec is valid iff every construction step up to the simulation
-    itself accepts it (topology, storm, trace, SimConfig)."""
+    itself accepts it (topology, storm, trace, SimConfig; for selection
+    kind: topology, objective, protocol pool, search budget)."""
     params = scenario.params_dict
+    campaign = Campaign(name="probe", scenarios=(scenario,), seed=1)
+    (task,) = campaign.expand()
+    if scenario.kind == "selection":
+        from repro.experiments.tasks import _make_objective
+        from repro.routing.base import make_protocol
+
+        topology = _build_topology(task)
+        _make_objective(params)  # must resolve
+        for protocol in params["protocols"]:
+            make_protocol(protocol, topology)  # every candidate routable
+        assert params["selector"] == "genetic"
+        # Bounded search: the fuzz loop's safety contract for this kind.
+        assert 0 < int(params["max_generations"]) <= 10
+        assert 0 < int(params["patience"]) <= int(params["max_generations"])
+        assert 0.0 < float(params["load"]) <= 1.0
+        return
     SimConfig(
         stack=params.get("stack", "r2c2"),
         mtu_payload=int(params.get("mtu_payload", 1500)),
@@ -45,8 +62,6 @@ def _check_runnable(scenario: Scenario) -> None:
         audit_strict=bool(params.get("audit_strict", False)),
         seed=int(params.get("sim_seed", 0)),
     )
-    campaign = Campaign(name="probe", scenarios=(scenario,), seed=1)
-    (task,) = campaign.expand()
     topology = _build_topology(task)
     topology, _failed = _apply_failure_storm(task, topology)
     trace = _make_trace(task, topology)

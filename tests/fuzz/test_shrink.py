@@ -24,6 +24,7 @@ def _big_failing_scenario():
     """A deliberately maximal scenario for the shrinker to chew through."""
     genome = genome_of(generate_scenario(3, "big"))
     genome.update(
+        kind="sim",  # pin the kind: sim axes below must survive assembly
         topology="torus",
         dims=(4, 4),
         workload="poisson",

@@ -122,3 +122,34 @@ def test_mismatched_buckets_are_counted_not_silently_lost():
     merged = merge_snapshots([a, b])
     assert merged["_dropped"] == 1
     assert merged["histograms"]["h"]["buckets"] == [1.0]
+
+
+def test_ragged_series_are_dropped_not_merged():
+    # Per-run time axes are not comparable across shards, so merge drops
+    # the "series" section outright rather than zipping ragged arrays.
+    a = {
+        "counters": {"sim.bytes": 10},
+        "series": {"queue.depth": {"t_ns": [0, 10, 20], "values": [1, 2, 3]}},
+    }
+    b = {
+        "counters": {"sim.bytes": 5},
+        "series": {"queue.depth": {"t_ns": [0, 50], "values": [9, 9]}},
+    }
+    merged = merge_snapshots([a, b])
+    assert "series" not in merged
+    assert merged["counters"] == {"sim.bytes": 15}
+
+
+def test_empty_shard_snapshots_are_identity():
+    # A shard that owns no instrumented nodes reports a bare or partial
+    # snapshot; both must behave as merge identities.
+    full = {
+        "counters": {"sim.flows": 3},
+        "gauges": {"net.load": 0.5},
+        "histograms": {},
+    }
+    for empty in ({}, {"counters": {}}, {"gauges": {}, "histograms": {}}):
+        merged = merge_snapshots([empty, full, empty])
+        assert merged["counters"] == full["counters"]
+        assert merged["gauges"] == full["gauges"]
+        assert merged["histograms"] == {}

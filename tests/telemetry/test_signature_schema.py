@@ -1,0 +1,92 @@
+"""Signature layout pinning: the fuzz corpus depends on it.
+
+Stored corpus entries carry behavioral signatures and deduplicate against
+them across sessions, so the feature layout is frozen: any change to the
+feature set, order, or quantization must bump
+``SIGNATURE_SCHEMA_VERSION``.  The digest below is computed from a fixed
+battery of synthetic results — if it changes while the version does not,
+this test fails loudly (that is its entire job: bump the version and
+migrate/invalidate the corpus, don't silently re-key it).
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.telemetry import (
+    SIGNATURE_FEATURES,
+    SIGNATURE_SCHEMA_VERSION,
+    log2_bucket,
+    sim_signature,
+)
+
+pytestmark = pytest.mark.telemetry
+
+#: Fixed battery spanning every feature's code path (empty result,
+#: partial completion, saturated counters, audit violation).
+_BATTERY = [
+    {},
+    {"completion_rate": 0.5, "summary": {"queue_p99_kb": 17, "drops": 3}},
+    {
+        "completion_rate": 1.0,
+        "summary": {
+            "queue_p99_kb": 1024,
+            "drops": 0,
+            "epochs_recomputed": 12,
+            "broadcast_bytes": 1 << 20,
+        },
+        "reorder_max": 9,
+        "wire_losses": 40,
+        "audit": {"ok": True},
+    },
+    {
+        "completion_rate": 0.0,
+        "telemetry": {"counters": {"wire.losses": 7}},
+        "audit": {"ok": False, "violations": ["x"]},
+    },
+]
+
+#: Digest of the battery's signatures under schema version 1.  Pinned on
+#: purpose — see the module docstring before "fixing" a mismatch here.
+_PINNED_DIGEST = "17af44f8180da6b2f5fc9e2d399bb7562fbd78ed722123dc2bdc30b366e310d5"
+
+
+def _digest() -> str:
+    payload = json.dumps(
+        [sim_signature(result) for result in _BATTERY], sort_keys=True
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def test_schema_version_is_pinned():
+    assert SIGNATURE_SCHEMA_VERSION == 1
+    assert SIGNATURE_FEATURES == (
+        "completed",
+        "queue_p99",
+        "reorder",
+        "drops",
+        "losses",
+        "epochs",
+        "bcast",
+        "audit",
+    )
+
+
+def test_signature_layout_drift_requires_version_bump():
+    assert _digest() == _PINNED_DIGEST, (
+        "signature layout changed without a SIGNATURE_SCHEMA_VERSION bump: "
+        "stored fuzz-corpus signatures would silently stop matching. Bump "
+        "the version, regenerate tests/corpus signatures, and re-pin this "
+        "digest."
+    )
+
+
+def test_feature_names_match_emission_order():
+    for result in _BATTERY:
+        assert tuple(n for n, _ in sim_signature(result)) == SIGNATURE_FEATURES
+
+
+def test_log2_bucket_boundaries():
+    assert [log2_bucket(v) for v in (0, 1, 2, 3, 4, 7, 8)] == [0, 1, 2, 2, 3, 3, 4]
+    assert log2_bucket(-5) == 0

@@ -12,8 +12,12 @@ SUBPACKAGES = (
     "repro.broadcast",
     "repro.congestion",
     "repro.core",
+    "repro.distsim",
+    "repro.experiments",
+    "repro.fuzz",
     "repro.interrack",
     "repro.maze",
+    "repro.obs",
     "repro.routing",
     "repro.selection",
     "repro.sim",
