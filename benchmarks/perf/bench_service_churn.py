@@ -1,0 +1,193 @@
+"""Microbenchmark: incremental vs full-recompute allocation under churn.
+
+The control-plane daemon's whole reason to exist is that a single flow
+arrival or departure should cost O(affected links), not a rack-wide
+water-fill.  This benchmark loads a 512-flow ecmp population onto an
+8x8x8 torus and measures three things:
+
+* ``full_recompute`` — one from-scratch water-fill over the population
+  (what every mutation would cost without the incremental allocator);
+* ``incremental_update`` — one single-flow arrival+departure cycle
+  through :class:`~repro.congestion.IncrementalWaterfill` (time / 2 per
+  operation);
+* ``sustained_churn`` — a seeded arrival/departure mix driven through
+  the daemon's :class:`~repro.service.state.ServiceState`, reported as
+  operations per second.
+
+``--check`` additionally enforces the ISSUE acceptance floor: the median
+single-flow update must be at least 5x faster than the median full
+recompute (quick mode shrinks sizes and skips the speedup gate — small
+racks have less locality for the incremental path to exploit).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf/bench_service_churn.py [--quick]
+        [--check] [--record --rev <label>]
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from perfcommon import (
+    REPO_ROOT,
+    check_regression,
+    load_history,
+    make_parser,
+    median_time,
+    record_entry,
+    report,
+    save_history,
+)
+
+from repro.congestion.flowstate import FlowSpec
+from repro.congestion.incremental import IncrementalWaterfill
+from repro.service import ServiceState
+from repro.topology import TorusTopology
+from repro.validation.churn import churn_ops
+
+SEED = 42
+#: ISSUE acceptance: single-flow updates >= 5x faster than full recompute
+#: on the 512-flow rack (enforced by --check in full mode only).
+SPEEDUP_FLOOR = 5.0
+
+FULL = {"dims": (8, 8, 8), "n_flows": 512, "reps": 7, "churn_ops": 400}
+QUICK = {"dims": (4, 4, 4), "n_flows": 128, "reps": 3, "churn_ops": 100}
+
+
+def random_flows(topo, n_flows: int, seed: int):
+    """Mostly host-limited demands (paper 3.3.2), a few network-limited.
+
+    Demand-limited flows are what gives single-flow updates locality: an
+    all-infinite-demand population welds the rack into one saturation
+    component and every patch degenerates to a near-full refill.
+    """
+    rng = random.Random(seed)
+    flows = []
+    for i in range(n_flows):
+        src = rng.randrange(topo.n_nodes)
+        dst = rng.randrange(topo.n_nodes - 1)
+        if dst >= src:
+            dst += 1
+        demand = math.inf if rng.random() < 0.1 else rng.uniform(0.5, 4.0) * 1e9
+        flows.append(FlowSpec(i, src, dst, "ecmp", demand_bps=demand))
+    return flows
+
+
+def build_population(dims, n_flows):
+    topo = TorusTopology(dims)
+    inc = IncrementalWaterfill(topo)
+    for spec in random_flows(topo, n_flows, SEED):
+        inc.add_flow(spec)
+    return topo, inc
+
+
+def bench_full_recompute(inc, reps) -> float:
+    inc.scratch_allocation()  # warm the weight caches
+    return median_time(lambda: inc.scratch_allocation(), reps)
+
+
+def bench_incremental_update(topo, inc, n_flows, reps) -> float:
+    extra = random_flows(topo, 1, SEED + 1)[0]
+    extra = FlowSpec(
+        n_flows + 1, extra.src, extra.dst, "ecmp", demand_bps=extra.demand_bps
+    )
+
+    def cycle():
+        inc.add_flow(extra)
+        inc.remove_flow(extra.flow_id)
+
+    cycle()  # warm
+    return median_time(cycle, reps) / 2.0  # per single-flow operation
+
+
+def bench_sustained_churn(dims, n_ops) -> dict:
+    topo = TorusTopology(dims)
+    state = ServiceState(topo)
+    ops = churn_ops(SEED, topo.n_nodes, n_ops, max_flows=64,
+                    capacity_bps=topo.capacity_bps)
+    specs = {}
+    import time as _time
+
+    started = _time.perf_counter()
+    for op in ops:
+        if op["op"] == "add":
+            specs[op["spec"].flow_id] = op["spec"]
+            state.announce(op["spec"])
+        elif op["op"] == "remove":
+            specs.pop(op["flow_id"], None)
+            state.finish(op["flow_id"])
+        else:
+            spec = specs[op["flow_id"]].with_demand(op["demand_bps"])
+            specs[op["flow_id"]] = spec
+            state.announce(spec)
+    elapsed = _time.perf_counter() - started
+    stats = state.incremental.stats()
+    return {
+        "ops_per_s": round(n_ops / elapsed, 1),
+        "incremental_ratio": round(stats["incremental_ratio"], 4),
+    }
+
+
+def main() -> int:
+    args = make_parser(__doc__.splitlines()[0]).parse_args()
+    out = args.out or (REPO_ROOT / "BENCH_service.json")
+    doc = load_history(out, "bench_service_churn")
+    cfg = QUICK if args.quick else FULL
+    dims, n_flows, reps = cfg["dims"], cfg["n_flows"], cfg["reps"]
+    label = f"{n_flows}flows_{'x'.join(map(str, dims))}"
+    print("bench_service_churn" + (" (quick)" if args.quick else ""))
+
+    topo, inc = build_population(dims, n_flows)
+    full_s = bench_full_recompute(inc, reps)
+    update_s = bench_incremental_update(topo, inc, n_flows, reps)
+    speedup = full_s / update_s if update_s > 0 else float("inf")
+    churn = bench_sustained_churn(dims, cfg["churn_ops"])
+
+    entry = {
+        "median_s": round(update_s, 9),
+        "full_recompute_s": round(full_s, 6),
+        "speedup": round(speedup, 1),
+        "churn_ops_per_s": churn["ops_per_s"],
+        "churn_incremental_ratio": churn["incremental_ratio"],
+        "n_flows": n_flows,
+        "dims": "x".join(map(str, dims)),
+        "seed": SEED,
+    }
+    name = f"incremental_update_{label}"
+    report(name, entry)
+
+    failures = []
+    if args.check:
+        error = check_regression(doc, name, entry["median_s"])
+        if error:
+            failures.append(error)
+        if not args.quick and speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"{name}: incremental update only {speedup:.1f}x faster than "
+                f"full recompute (floor {SPEEDUP_FLOOR:.0f}x)"
+            )
+    if args.record and not args.quick:
+        entry["rev"] = args.rev
+        record_entry(
+            doc,
+            name,
+            f"single-flow add/remove through IncrementalWaterfill vs one "
+            f"scratch waterfill over {n_flows} random ecmp flows on a "
+            f"{'x'.join(map(str, dims))} torus, plus a {cfg['churn_ops']}-op "
+            f"sustained churn mix through ServiceState",
+            entry,
+        )
+        save_history(out, doc)
+        print(f"recorded to {out}")
+    for error in failures:
+        print(f"REGRESSION: {error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

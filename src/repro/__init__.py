@@ -32,6 +32,7 @@ from .errors import (
     ReproError,
     RoutingError,
     SelectionError,
+    ServiceError,
     SimulationError,
     TopologyError,
     WireFormatError,
@@ -46,6 +47,7 @@ __all__ = [
     "ReproError",
     "RoutingError",
     "SelectionError",
+    "ServiceError",
     "SimulationError",
     "TopologyError",
     "WireFormatError",

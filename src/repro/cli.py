@@ -17,6 +17,10 @@ Commands:
 * ``figures``   — run a figure campaign and emit its results tables.
 * ``fuzz``      — coverage-guided scenario fuzzing: ``run`` the search,
   ``replay`` the regression corpus, ``shrink`` a reproducer.
+* ``serve``     — run the long-lived control-plane daemon: incremental
+  max-min allocation served over the binary control protocol
+  (flow announce/finish, allocation queries, telemetry snapshot
+  subscriptions), with atomic snapshot/restore across restarts.
 
 The CLI is a thin veneer over the library; every command maps to a few
 lines of public API (printed with ``--show-code`` for discoverability).
@@ -618,6 +622,40 @@ def cmd_fuzz_shrink(args) -> int:
     return 1
 
 
+def cmd_serve(args) -> int:
+    from .congestion import WeightProvider
+    from .service import ServiceState, serve_forever
+
+    topo = _build_topology(args.topology, args.dims)
+    state = ServiceState(
+        topo,
+        headroom=args.headroom,
+        snapshot_path=args.snapshot,
+        provider=WeightProvider(topo),
+    )
+    if state.restored:
+        print(
+            f"restored {state.incremental.n_flows} flow(s) from {args.snapshot} "
+            f"(seq {state.seq})"
+        )
+    print(f"serving {topo.name} on {args.host} (headroom {args.headroom:g})")
+    serve_forever(
+        state,
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        max_seconds=args.seconds,
+    )
+    stats = state.incremental.stats()
+    print(
+        f"stopped after {state.announces} announce(s), {state.finishes} "
+        f"finish(es), {state.queries} quer(ies); "
+        f"{stats['incremental_ops']} incremental / "
+        f"{stats['fallback_recomputes']} fallback recompute(s)"
+    )
+    return 0
+
+
 def cmd_figures(args) -> int:
     from pathlib import Path
 
@@ -832,6 +870,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_fshrink.add_argument("--seed", type=int, default=0)
     p_fshrink.add_argument("--max-evals", type=int, default=80)
     p_fshrink.set_defaults(func=cmd_fuzz_shrink)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the control-plane daemon (announce/finish/query over TCP)",
+    )
+    add_topology_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="listen port (0 = ephemeral; see --port-file)")
+    p_serve.add_argument("--port-file", default=None,
+                         help="write the bound port here once listening "
+                              "(atomic; doubles as the readiness signal)")
+    p_serve.add_argument("--headroom", type=float, default=0.05,
+                         help="capacity fraction reserved from allocation")
+    p_serve.add_argument("--snapshot", default=None,
+                         help="flow-table snapshot path: restored on start "
+                              "when present, rewritten after every mutation")
+    p_serve.add_argument("--seconds", type=float, default=None,
+                         help="exit after this many seconds (default: run "
+                              "until SIGTERM/SIGINT)")
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -13,6 +13,7 @@ the exact (path-splitting) max-min optimum for comparison.
 from .controller import ControllerConfig, RateController, RecomputeStats
 from .demand import DemandEstimator
 from .flowstate import FlowSpec, FlowTable
+from .incremental import IncrementalWaterfill, spec_from_dict, spec_to_dict
 from .linkweights import WeightProvider
 from .mp_reference import PathFlow, maxmin_rates, minimal_path_flows
 from .policies import (
@@ -23,7 +24,7 @@ from .policies import (
     TenantShares,
     normalize_weights,
 )
-from .waterfill import RateAllocation, effective_capacities, waterfill
+from .waterfill import RateAllocation, effective_capacities, fill_matrix, waterfill
 
 __all__ = [
     "AllocationPolicy",
@@ -32,6 +33,7 @@ __all__ = [
     "DemandEstimator",
     "FlowSpec",
     "FlowTable",
+    "IncrementalWaterfill",
     "PathFlow",
     "PerFlowFair",
     "RateAllocation",
@@ -42,7 +44,10 @@ __all__ = [
     "WeightProvider",
     "effective_capacities",
     "maxmin_rates",
+    "fill_matrix",
     "minimal_path_flows",
     "normalize_weights",
+    "spec_from_dict",
+    "spec_to_dict",
     "waterfill",
 ]

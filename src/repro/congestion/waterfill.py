@@ -182,38 +182,48 @@ def _ragged_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     return np.repeat(starts - shifts, counts) + np.arange(total, dtype=np.int64)
 
 
-def _fill_one_level(
-    topology: Topology,
-    flows: List[FlowSpec],
-    provider: WeightProvider,
+def fill_matrix(
+    matrix,
+    phi: np.ndarray,
+    demand: np.ndarray,
     residual: np.ndarray,
-    load: np.ndarray,
-    rates: Dict[FlowId, float],
-    bottleneck: Dict[FlowId, Optional[LinkId]],
-) -> int:
-    """Water-fill one priority level onto *residual* capacity.
+    linkless_cap: float = 0.0,
+):
+    """Water-fill the flows of *matrix* (one per row) onto *residual* capacity.
 
-    Mutates ``load``, ``rates`` and ``bottleneck`` in place; returns the
-    number of freeze rounds.
+    This is the freeze-round primitive shared by the batch :func:`waterfill`
+    (one call per priority level) and the single-flow-churn refill path of
+    :class:`repro.congestion.incremental.IncrementalWaterfill` (one call per
+    affected component).  It is pure: none of the inputs are mutated.
+
+    Args:
+        matrix: A :class:`~repro.congestion.linkweights.LevelMatrix` whose
+            rows are the flows to fill (CSR link-fraction weights).
+        phi: Allocation weight per row.
+        demand: Demand cap per row in bits/s (``inf`` = elastic).
+        residual: Capacity available per link in bits/s (``matrix.n_links``
+            entries).
+        linkless_cap: Rate cap applied to rows that touch no links
+            (``src == dst`` flows); batch fills pass the fabric link rate.
+
+    Returns:
+        ``(rate_arr, bn_arr, rounds)`` — allocated rate per row, bottleneck
+        link id per row (``-1`` when demand-frozen or link-less), and the
+        number of freeze rounds executed.
     """
     n_links = residual.size
-    n_flows = len(flows)
+    n_flows = matrix.n_flows
+    rate_arr = np.zeros(n_flows, dtype=np.float64)
+    bn_arr = np.full(n_flows, -1, dtype=np.int64)
     if n_flows == 0:
-        return 0
+        return rate_arr, bn_arr, 0
 
-    # The level's CSR/CSC weight matrix, cached across fills by routing
-    # signature.  ``contrib`` scales each row by its flow's allocation
-    # weight: the load flow f puts on each link per unit of fill level t
-    # (its rate being phi_f * t).
-    matrix = provider.level_matrix(flows)
-    flow_ids = [spec.flow_id for spec in flows]
-    phi = np.fromiter((spec.weight for spec in flows), dtype=np.float64, count=n_flows)
-    demand = np.fromiter(
-        (spec.demand_bps for spec in flows), dtype=np.float64, count=n_flows
-    )
     with np.errstate(invalid="ignore"):
         demand_level = np.where(np.isfinite(demand), demand / phi, np.inf)
 
+    # ``contrib`` scales each row by its flow's allocation weight: the load
+    # flow f puts on each link per unit of fill level t (its rate being
+    # phi_f * t).
     contrib = matrix.data * np.repeat(phi, matrix.row_nnz)
     # Sum of unfrozen contributions per link, plus an exact count of
     # unfrozen flows per link: floating-point dust left by incremental
@@ -222,18 +232,12 @@ def _fill_one_level(
     denom = np.bincount(matrix.indices, weights=contrib, minlength=n_links)
     live_count = np.bincount(matrix.indices, minlength=n_links)
 
-    # Rates and bottlenecks are kept as flat arrays during the fill and
-    # written to the result dicts once at the end (-1 means "no bottleneck
-    # link": demand-frozen or link-less).
-    rate_arr = np.zeros(n_flows, dtype=np.float64)
-    bn_arr = np.full(n_flows, -1, dtype=np.int64)
-
     unfrozen = np.ones(n_flows, dtype=bool)
     # Flows that touch no links (src == dst) are only demand- or
     # capacity-bound; freeze them immediately.
     empty_rows = matrix.row_nnz == 0
     if empty_rows.any():
-        rate_arr[empty_rows] = np.minimum(demand[empty_rows], topology.capacity_bps)
+        rate_arr[empty_rows] = np.minimum(demand[empty_rows], linkless_cap)
         unfrozen[empty_rows] = False
 
     #: fill level at which each *unfrozen* flow's demand binds; frozen
@@ -365,6 +369,40 @@ def _fill_one_level(
 
         demand_gate[frozen_idx] = np.inf
         n_live -= int(frozen_idx.size)
+
+    return rate_arr, bn_arr, rounds
+
+
+def _fill_one_level(
+    topology: Topology,
+    flows: List[FlowSpec],
+    provider: WeightProvider,
+    residual: np.ndarray,
+    load: np.ndarray,
+    rates: Dict[FlowId, float],
+    bottleneck: Dict[FlowId, Optional[LinkId]],
+) -> int:
+    """Water-fill one priority level onto *residual* capacity.
+
+    Assembles the level's (cached) CSR/CSC weight matrix, runs
+    :func:`fill_matrix`, and commits the results: mutates ``load``,
+    ``rates`` and ``bottleneck`` in place; returns the number of freeze
+    rounds.
+    """
+    n_links = residual.size
+    n_flows = len(flows)
+    if n_flows == 0:
+        return 0
+
+    matrix = provider.level_matrix(flows)
+    flow_ids = [spec.flow_id for spec in flows]
+    phi = np.fromiter((spec.weight for spec in flows), dtype=np.float64, count=n_flows)
+    demand = np.fromiter(
+        (spec.demand_bps for spec in flows), dtype=np.float64, count=n_flows
+    )
+    rate_arr, bn_arr, rounds = fill_matrix(
+        matrix, phi, demand, residual, linkless_cap=topology.capacity_bps
+    )
 
     # Commit this level's loads from the rows already gathered in the
     # matrix (no second weights_for pass), then flush the flat arrays into

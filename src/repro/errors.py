@@ -99,3 +99,11 @@ class CampaignInterrupted(ExperimentError):
         super().__init__(message)
         self.completed = completed
         self.remaining = remaining
+
+
+class ServiceError(ReproError):
+    """Raised by the :mod:`repro.service` control-plane daemon.
+
+    Covers snapshot/topology mismatches on restore, malformed service
+    configuration, and client RPC failures.
+    """

@@ -16,6 +16,8 @@ Kinds:
 * ``selection`` — one Figure 18 cell: a protocol-selection search or
   baseline at a given load.
 * ``crossval``  — the Figure 7 Maze-vs-simulator cross-validation pair.
+* ``churn``     — a seeded flow arrival/departure replay against the
+  control-plane service state with a scratch-vs-incremental cross-check.
 """
 
 from __future__ import annotations
@@ -402,12 +404,40 @@ def _run_crossval(task: Task) -> Dict[str, Any]:
     }
 
 
+def _run_churn(task: Task) -> Dict[str, Any]:
+    from ..service import run_churn
+
+    params = task.scenario.params_dict
+    topology = _build_topology(task)
+    fallback_at = params.get("fallback_at")
+    fail_seed = None
+    if fallback_at is not None:
+        from ..core.seeds import derive_seed
+
+        fallback_at = int(fallback_at)
+        fail_seed = derive_seed(
+            int(params.get("fail_seed", task.seed)), "fault-storm"
+        )
+    return run_churn(
+        topology,
+        seed=int(params.get("op_seed", task.seed)),
+        n_ops=int(params.get("n_ops", 200)),
+        max_flows=int(params.get("max_flows", 24)),
+        check_every=int(params.get("check_every", 1)),
+        fallback_at=fallback_at,
+        fail_links=int(params.get("fail_links", 1)),
+        fail_seed=fail_seed,
+        headroom=float(params.get("headroom", 0.0)),
+    )
+
+
 _EXECUTORS = {
     "probe": _run_probe,
     "routing": _run_routing,
     "sim": _run_sim,
     "selection": _run_selection,
     "crossval": _run_crossval,
+    "churn": _run_churn,
 }
 
 

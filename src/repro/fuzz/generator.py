@@ -72,8 +72,8 @@ _OBJECTIVE_CHOICES = ("aggregate", "tail", "blended")
 #: Candidate protocol sets for selection searches.
 _SELECTION_PROTOCOL_CHOICES = (("rps", "vlb"), ("rps", "dor"), ("rps", "vlb", "wlb"))
 #: Scenario kind: mostly packet sims, occasionally a protocol-selection
-#: search so the selection objective axis gets fuzzed too.
-_KIND_CHOICES = ("sim", "sim", "sim", "sim", "sim", "selection")
+#: search or a control-plane churn replay so those axes get fuzzed too.
+_KIND_CHOICES = ("sim", "sim", "sim", "sim", "sim", "selection", "churn")
 _LATENCY_CHOICES = (None, None, None, 50, 200, 1000)
 _CAPACITY_CHOICES = (None, None, None, 1e9, 40e9)
 _MTU_CHOICES = (1500, 1500, 1500, 512, 3000)
@@ -134,6 +134,12 @@ def _draw_selection(rng: random.Random, genome: Dict[str, Any]) -> None:
     genome["selection_protocols"] = rng.choice(_SELECTION_PROTOCOL_CHOICES)
 
 
+def _draw_churn(rng: random.Random, genome: Dict[str, Any]) -> None:
+    genome["churn_ops"] = rng.choice((40, 80, 150))
+    genome["churn_flows"] = rng.choice((8, 16, 24))
+    genome["churn_fallback"] = rng.random() < 0.5
+
+
 def _draw_loss(rng: random.Random, genome: Dict[str, Any]) -> None:
     genome["loss_rate"] = rng.choice(_LOSS_CHOICES)
 
@@ -164,6 +170,7 @@ AXES = (
     _draw_stack,
     _draw_routing,
     _draw_selection,
+    _draw_churn,
     _draw_loss,
     _draw_queue,
     _draw_horizon,
@@ -193,6 +200,30 @@ def assemble(genome: Dict[str, Any], name: str) -> Scenario:
     kind = genome.get("kind", "sim")
     if topology == "clos":
         kind = "sim"
+    # Churn replays exercise the incremental allocator's arrival/departure
+    # path; the failure-view fallback injection mirrors the storm rule
+    # (grids big enough to survive a symmetric link loss connected).
+    if kind == "churn":
+        churn_params: Dict[str, Any] = {
+            "n_ops": int(genome["churn_ops"]),
+            "max_flows": int(genome["churn_flows"]),
+            "op_seed": int(genome["sim_seed"]),
+        }
+        if genome["churn_fallback"] and n_nodes >= 8:
+            churn_params["fallback_at"] = int(genome["churn_ops"]) // 2
+            churn_params["fail_links"] = 1
+            churn_params["fail_seed"] = int(genome["fail_seed"])
+        return Scenario(
+            name=name,
+            kind="churn",
+            topology=topology,
+            dims=dims,
+            capacity_bps=genome["capacity_bps"],
+            params=churn_params,
+            replicates=1,
+            shards=1,
+        )
+
     if kind == "selection":
         return Scenario(
             name=name,
@@ -296,8 +327,11 @@ def genome_of(scenario: Scenario) -> Dict[str, Any]:
     params = scenario.params_dict
     horizon = params.get("horizon_ns")
     return {
-        "kind": scenario.kind if scenario.kind == "selection" else "sim",
+        "kind": scenario.kind if scenario.kind in ("selection", "churn") else "sim",
         "objective": params.get("objective", "aggregate"),
+        "churn_ops": int(params.get("n_ops", 80)),
+        "churn_flows": int(params.get("max_flows", 16)),
+        "churn_fallback": "fallback_at" in params,
         "load": float(params.get("load", 0.25)),
         "selection_protocols": tuple(params.get("protocols", ("rps", "vlb"))),
         "topology": scenario.topology,
@@ -319,8 +353,11 @@ def genome_of(scenario: Scenario) -> Dict[str, Any]:
         "queue_limit_bytes": params.get("queue_limit_bytes"),
         "horizon_ns": None if horizon in (None, SAFETY_HORIZON_NS) else int(horizon),
         "fail_links": int(params.get("fail_links", 0)),
-        # Selection scenarios carry the sim seed as the search seed.
-        "sim_seed": int(params.get("sim_seed", params.get("search_seed", 0))),
+        # Selection scenarios carry the sim seed as the search seed,
+        # churn scenarios as the op seed.
+        "sim_seed": int(
+            params.get("sim_seed", params.get("search_seed", params.get("op_seed", 0)))
+        ),
         "trace_seed": int(params.get("trace_seed", 0)),
         "fail_seed": int(params.get("fail_seed", 0)),
     }

@@ -106,6 +106,27 @@ def _move_storm(genome: Genome) -> Iterator[Candidate]:
         yield "no storm", g
 
 
+def _move_churn(genome: Genome) -> Iterator[Candidate]:
+    if genome.get("kind") != "churn":
+        return
+    if genome["churn_fallback"]:
+        g = dict(genome)
+        g["churn_fallback"] = False
+        yield "no churn fallback", g
+    ops = int(genome["churn_ops"])
+    for candidate in (10, ops // 4, ops // 2):
+        if 0 < candidate < ops:
+            g = dict(genome)
+            g["churn_ops"] = candidate
+            yield f"{candidate} churn op(s)", g
+    flows = int(genome["churn_flows"])
+    for candidate in (2, flows // 2):
+        if 1 < candidate < flows:
+            g = dict(genome)
+            g["churn_flows"] = candidate
+            yield f"{candidate} churn flow cap", g
+
+
 def _move_loss(genome: Genome) -> Iterator[Candidate]:
     if float(genome["loss_rate"]) > 0:
         g = dict(genome)
@@ -157,6 +178,7 @@ _MOVES = (
     _move_flows,
     _move_sizes,
     _move_storm,
+    _move_churn,
     _move_loss,
     _move_queue,
     _move_horizon,

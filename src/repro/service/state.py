@@ -1,0 +1,240 @@
+"""The daemon's allocation state machine (transport-agnostic).
+
+:class:`ServiceState` is everything the ``repro serve`` daemon knows,
+minus the sockets: the live :class:`~repro.congestion.IncrementalWaterfill`
+flow table, operation counters, the query-latency reservoir, and the
+snapshot/restore plumbing.  Keeping it transport-free lets the churn
+oracle, the fuzzer's churn executor and the in-process daemon tests drive
+the exact code path the asyncio daemon serves, without event loops.
+
+Durability: when constructed with a ``snapshot_path``, every mutation
+persists the full flow table and the *exact* float rates/loads via
+:func:`~repro.core.ioutil.atomic_write_json` (write → fsync → rename).
+JSON round-trips Python floats losslessly, so a daemon that is SIGKILLed
+and restarted from its snapshot answers allocation queries byte-for-byte
+identically to one that never died.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional
+
+from ..congestion import FlowSpec, IncrementalWaterfill
+from ..errors import ServiceError
+from ..routing import protocol_class
+from ..sim.metrics import LatencyReservoir
+from ..topology.base import Topology
+from ..wire.control import AllocReply, FlowAnnounce
+
+#: Snapshot file layout version.
+SNAPSHOT_SCHEMA = 1
+
+
+def spec_from_announce(msg: FlowAnnounce) -> FlowSpec:
+    """Translate a wire FLOW_ANNOUNCE into a :class:`FlowSpec`.
+
+    The wire protocol id becomes the registered protocol name; weight and
+    demand arrive already quantized by the codec, so live and
+    restored-from-snapshot daemons allocate from identical specs.
+    """
+    return FlowSpec(
+        flow_id=msg.flow_id,
+        src=msg.src,
+        dst=msg.dst,
+        protocol=protocol_class(msg.protocol_id).name,
+        weight=msg.weight,
+        priority=msg.priority,
+        demand_bps=msg.demand_bps,
+    )
+
+
+class ServiceState:
+    """Flow table + incremental allocator + counters + snapshot plumbing.
+
+    Attributes:
+        seq: Mutation sequence number (monotonic; restored from snapshot).
+        announces / finishes / queries: Operation counters.
+        query_latency: Wall-clock reservoir over :meth:`query` service
+            times (telemetry only — never part of allocation answers).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        headroom: float = 0.0,
+        snapshot_path: Optional[str] = None,
+        telemetry=None,
+        provider=None,
+        capacities=None,
+    ) -> None:
+        self.incremental = IncrementalWaterfill(
+            topology, provider=provider, headroom=headroom, capacities=capacities
+        )
+        self._headroom = float(headroom)
+        self._snapshot_path = Path(snapshot_path) if snapshot_path else None
+        self.seq = 0
+        self.announces = 0
+        self.finishes = 0
+        self.queries = 0
+        self.restored = False
+        self.query_latency = LatencyReservoir(seed=0)
+        # Telemetry instruments resolved once; ``or None`` keeps the hot
+        # path a cheap falsy test when telemetry is disabled.
+        if telemetry is not None:
+            self._ctr_announces = telemetry.metrics.counter("service.announces") or None
+            self._ctr_finishes = telemetry.metrics.counter("service.finishes") or None
+            self._ctr_queries = telemetry.metrics.counter("service.queries") or None
+            self._ctr_fallbacks = telemetry.metrics.counter("service.fallback_recomputes") or None
+            self._ctr_incremental = telemetry.metrics.counter("service.incremental_ops") or None
+            self._gauge_flows = telemetry.metrics.gauge("service.flows") or None
+        else:
+            self._ctr_announces = self._ctr_finishes = self._ctr_queries = None
+            self._ctr_fallbacks = self._ctr_incremental = None
+            self._gauge_flows = None
+        if self._snapshot_path is not None and self._snapshot_path.exists():
+            self.restore(self._snapshot_path)
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def announce(self, spec: FlowSpec) -> bool:
+        """Announce (or re-announce) one flow; returns ``True`` if new."""
+        was_new = not self.incremental.has_flow(spec.flow_id)
+        before = self.incremental.fallback_recomputes
+        self.incremental.add_flow(spec)
+        self.announces += 1
+        if self._ctr_announces:
+            self._ctr_announces.inc()
+        self._after_mutation(before)
+        return was_new
+
+    def finish(self, flow_id: int) -> bool:
+        """Retire one flow; returns ``False`` when it was not announced."""
+        before = self.incremental.fallback_recomputes
+        known = self.incremental.remove_flow(flow_id)
+        self.finishes += 1
+        if self._ctr_finishes:
+            self._ctr_finishes.inc()
+        if known:
+            self._after_mutation(before)
+        return known
+
+    def query(self, flow_id: int) -> AllocReply:
+        """Answer one allocation query from live incremental state."""
+        started = time.perf_counter_ns()
+        self.queries += 1
+        if self._ctr_queries:
+            self._ctr_queries.inc()
+        if self.incremental.has_flow(flow_id):
+            reply = AllocReply(
+                flow_id=flow_id,
+                known=True,
+                rate_bps=self.incremental.rate(flow_id),
+                bottleneck_link=self.incremental.bottleneck(flow_id),
+            )
+        else:
+            reply = AllocReply(flow_id=flow_id, known=False)
+        self.query_latency.record(time.perf_counter_ns() - started)
+        return reply
+
+    def _after_mutation(self, fallbacks_before: int) -> None:
+        self.seq += 1
+        if self._gauge_flows:
+            self._gauge_flows.set(self.incremental.n_flows)
+        if self.incremental.fallback_recomputes > fallbacks_before:
+            if self._ctr_fallbacks:
+                self._ctr_fallbacks.inc()
+        elif self._ctr_incremental:
+            self._ctr_incremental.inc()
+        if self._snapshot_path is not None:
+            self.save_snapshot(self._snapshot_path)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+
+    def telemetry_snapshot(self) -> dict:
+        """The SNAPSHOT_EVENT payload: counters, ratios, latency summary."""
+        stats = self.incremental.stats()
+        alloc = self.incremental.allocation()
+        return {
+            "seq": self.seq,
+            "flows": stats["n_flows"],
+            "announces": self.announces,
+            "finishes": self.finishes,
+            "queries": self.queries,
+            "incremental_ops": stats["incremental_ops"],
+            "fallback_recomputes": stats["fallback_recomputes"],
+            "incremental_ratio": stats["incremental_ratio"],
+            "fallback_reasons": stats["fallback_reasons"],
+            "aggregate_throughput_bps": alloc.aggregate_throughput_bps(),
+            "max_link_utilization": alloc.max_link_utilization(),
+            "query_latency": self.query_latency.to_dict(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+
+    def save_snapshot(self, path) -> None:
+        """Atomically persist the full state to *path*."""
+        from ..core.ioutil import atomic_write_json
+
+        topology = self.incremental.topology
+        atomic_write_json(
+            Path(path),
+            {
+                "schema": SNAPSHOT_SCHEMA,
+                "seq": self.seq,
+                "headroom": self._headroom,
+                "topology": {
+                    "kind": type(topology).__name__,
+                    "n_nodes": topology.n_nodes,
+                    "n_links": topology.n_links,
+                },
+                "counters": {
+                    "announces": self.announces,
+                    "finishes": self.finishes,
+                    "queries": self.queries,
+                },
+                "alloc": self.incremental.state_dict(),
+            },
+        )
+
+    def restore(self, path) -> None:
+        """Load a :meth:`save_snapshot` file; rates restore bit-exactly."""
+        import json
+
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"cannot read snapshot {path}: {exc}") from exc
+        if data.get("schema") != SNAPSHOT_SCHEMA:
+            raise ServiceError(
+                f"snapshot schema {data.get('schema')!r} != {SNAPSHOT_SCHEMA}"
+            )
+        topology = self.incremental.topology
+        topo = data.get("topology", {})
+        if (topo.get("n_nodes"), topo.get("n_links")) != (
+            topology.n_nodes,
+            topology.n_links,
+        ):
+            raise ServiceError(
+                f"snapshot topology {topo} does not match the serving fabric "
+                f"({topology.n_nodes} nodes / {topology.n_links} links)"
+            )
+        self.incremental.load_state(data["alloc"])
+        self.seq = int(data.get("seq", 0))
+        counters = data.get("counters", {})
+        self.announces = int(counters.get("announces", 0))
+        self.finishes = int(counters.get("finishes", 0))
+        self.queries = int(counters.get("queries", 0))
+        self.restored = True
+        if self._gauge_flows:
+            self._gauge_flows.set(self.incremental.n_flows)
+
+
+__all__ = ["SNAPSHOT_SCHEMA", "ServiceState", "spec_from_announce"]

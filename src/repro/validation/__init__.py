@@ -23,9 +23,21 @@ package provides the three layers of that correctness net:
   verdicts over executed ``repro.experiments`` sim tasks (crash, audit,
   sanity, sharded-vs-serial consistency), the machine-readable form the
   scenario fuzzer (:mod:`repro.fuzz`) triages and persists.
+* :mod:`repro.validation.churn` — the churn oracle for incremental
+  max-min: scratch water-fill ≡ :class:`~repro.congestion.IncrementalWaterfill`
+  after every operation of seeded arrival/departure sequences, including
+  forced failure-view fallbacks.
 """
 
 from .auditor import AuditReport, InvariantAuditor, merge_audit_reports
+from .churn import (
+    CHURN_TOLERANCE,
+    apply_churn_op,
+    churn_case,
+    churn_ops,
+    churn_report,
+    compare_against_scratch,
+)
 from .faults import FaultEvent, FaultInjector, FaultSchedule
 from .oracle import (
     DifferentialCase,
@@ -42,6 +54,7 @@ from .oracle import (
 from .verdicts import (
     OracleVerdict,
     audit_verdict,
+    churn_verdict,
     consistency_verdict,
     crash_verdict,
     sanity_verdicts,
@@ -50,7 +63,14 @@ from .verdicts import (
 
 __all__ = [
     "AuditReport",
+    "CHURN_TOLERANCE",
+    "apply_churn_op",
     "audit_verdict",
+    "churn_case",
+    "churn_ops",
+    "churn_report",
+    "churn_verdict",
+    "compare_against_scratch",
     "consistency_verdict",
     "crash_verdict",
     "DifferentialCase",

@@ -29,6 +29,7 @@ from typing import Any, List, Mapping, Optional, Tuple
 __all__ = [
     "OracleVerdict",
     "audit_verdict",
+    "churn_verdict",
     "crash_verdict",
     "sanity_verdicts",
     "consistency_verdict",
@@ -141,6 +142,39 @@ def consistency_verdict(
     )
 
 
+def churn_verdict(source: Mapping[str, Any]) -> OracleVerdict:
+    """The churn oracle's verdict: scratch ≡ incremental within tolerance.
+
+    Accepts either a churn-task result's ``churn`` section (``{"max_rel_error",
+    "tolerance", ...}``) or a :class:`~repro.validation.oracle.DifferentialReport`
+    from :func:`repro.validation.churn.churn_report`.
+    """
+    if hasattr(source, "max_rel_error") and hasattr(source, "tolerance"):
+        max_err, tolerance = source.max_rel_error, source.tolerance
+        context = getattr(source, "name", "churn")
+    else:
+        max_err = float(source.get("max_rel_error", 0.0))
+        tolerance = float(source.get("tolerance", 1e-6))
+        context = f"{source.get('ops', '?')} ops"
+    if max_err <= tolerance:
+        return OracleVerdict(oracle="churn_vs_scratch", ok=True)
+    return OracleVerdict(
+        oracle="churn_vs_scratch",
+        ok=False,
+        details=(
+            f"incremental diverged from scratch: max rel error {max_err:.3g} "
+            f"> tolerance {tolerance:.3g} ({context})",
+        ),
+    )
+
+
 def sim_result_verdicts(result: Mapping[str, Any]) -> List[OracleVerdict]:
-    """All result-level verdicts for one executed sim task (no differential)."""
-    return [audit_verdict(result), *sanity_verdicts(result)]
+    """All result-level verdicts for one executed task (no differential).
+
+    Churn-task results carry a ``churn`` section; its scratch-vs-incremental
+    verdict rides along with the structural checks.
+    """
+    verdicts = [audit_verdict(result), *sanity_verdicts(result)]
+    if "churn" in result:
+        verdicts.append(churn_verdict(result["churn"]))
+    return verdicts

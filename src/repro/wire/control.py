@@ -1,0 +1,531 @@
+"""Control-plane messages for the ``repro serve`` daemon.
+
+The rack controller daemon (:mod:`repro.service`) speaks a small binary
+protocol over a stream transport.  Framing is a 4-byte big-endian length
+prefix followed by the message body; bodies reuse the packet conventions of
+:mod:`repro.wire.packets`: the high nibble of byte 0 is the message type,
+fixed-width big-endian fields, and a 16-bit RFC 1071 Internet checksum
+computed with the checksum field zeroed (store-zeroed convention, verified
+by :func:`~repro.wire.checksum.internet_checksum` on decode).
+
+Message types (continuing the packet-type code space of
+:mod:`repro.wire.packets`, which ends at ``0x4``)::
+
+    FLOW_ANNOUNCE  0x5  client -> daemon   announce/update one flow
+    FLOW_FINISH    0x6  client -> daemon   retire one flow
+    ALLOC_QUERY    0x7  client -> daemon   ask one flow's allocated rate
+    ALLOC_REPLY    0x8  daemon -> client   rate + bottleneck (full f64)
+    SNAPSHOT_SUB   0x9  client -> daemon   subscribe to telemetry snapshots
+    SNAPSHOT_EVENT 0xA  daemon -> client   one JSON telemetry snapshot
+    CONTROL_ACK    0xB  daemon -> client   announce/finish acknowledgement
+    CONTROL_ERROR  0xC  daemon -> client   decode/dispatch failure report
+
+Quantization follows the broadcast packet: allocation weight rides as an
+unsigned byte in 1/16 steps and demand as 24-bit Mbps with the all-ones
+value meaning "network limited" — the daemon allocates from the quantized
+values, so a restored daemon and an uninterrupted one agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..errors import WireFormatError
+from ..types import FlowId, NodeId
+from .checksum import internet_checksum
+from .packets import _DEMAND_INF_MBPS, _WEIGHT_SCALE
+
+#: Control-message type codes (high nibble of body byte 0).
+TYPE_FLOW_ANNOUNCE = 0x5
+TYPE_FLOW_FINISH = 0x6
+TYPE_ALLOC_QUERY = 0x7
+TYPE_ALLOC_REPLY = 0x8
+TYPE_SNAPSHOT_SUB = 0x9
+TYPE_SNAPSHOT_EVENT = 0xA
+TYPE_CONTROL_ACK = 0xB
+TYPE_CONTROL_ERROR = 0xC
+
+#: Frames above this size are rejected before allocation (corrupt prefix).
+MAX_FRAME_SIZE = 1 << 20
+
+_ANNOUNCE_FMT = ">BBIHHBB3sH"  # type, proto, flow, src, dst, weight_q, prio, demand, csum
+ANNOUNCE_SIZE = struct.calcsize(_ANNOUNCE_FMT)
+assert ANNOUNCE_SIZE == 17
+
+_FLOW_REF_FMT = ">BBIH"  # type, reserved, flow, csum (FINISH and QUERY)
+FLOW_REF_SIZE = struct.calcsize(_FLOW_REF_FMT)
+assert FLOW_REF_SIZE == 8
+
+_ALLOC_REPLY_FMT = ">BBIdiH"  # type, flags, flow, rate_bps, bottleneck, csum
+ALLOC_REPLY_SIZE = struct.calcsize(_ALLOC_REPLY_FMT)
+assert ALLOC_REPLY_SIZE == 20
+
+_SNAPSHOT_SUB_FMT = ">BBIH"  # type, reserved, max_events, csum
+SNAPSHOT_SUB_SIZE = struct.calcsize(_SNAPSHOT_SUB_FMT)
+
+_SNAPSHOT_EVENT_FMT = ">BBII"  # type, reserved, seq, payload_len (+ payload + csum)
+_SNAPSHOT_EVENT_HEAD = struct.calcsize(_SNAPSHOT_EVENT_FMT)
+
+_ACK_FMT = ">BBIH"  # type, code, flow, csum
+ACK_SIZE = struct.calcsize(_ACK_FMT)
+
+_ERROR_FMT = ">BBH"  # type, code, msg_len (+ msg + csum)
+_ERROR_HEAD = struct.calcsize(_ERROR_FMT)
+
+#: Reply flag bits.
+_FLAG_KNOWN = 0x1
+_FLAG_BOTTLENECK = 0x2
+
+#: Ack codes.
+ACK_OK = 0
+ACK_UNKNOWN_FLOW = 1
+
+#: Error codes.
+ERR_MALFORMED = 1
+ERR_UNSUPPORTED = 2
+ERR_REJECTED = 3
+
+
+def control_type(body: bytes) -> int:
+    """Message type code of an (unverified) control body."""
+    if not body:
+        raise WireFormatError("empty control message")
+    return body[0] >> 4
+
+
+def _checked(body: bytes, csum_offset: int, what: str) -> None:
+    """Verify the store-zeroed Internet checksum at *csum_offset*."""
+    stored = struct.unpack_from(">H", body, csum_offset)[0]
+    zeroed = body[:csum_offset] + b"\x00\x00" + body[csum_offset + 2:]
+    if internet_checksum(zeroed) != stored:
+        raise WireFormatError(f"{what} checksum mismatch")
+
+
+def _sealed(body: bytearray, csum_offset: int) -> bytes:
+    """Patch the store-zeroed Internet checksum into *body*."""
+    csum = internet_checksum(bytes(body))
+    struct.pack_into(">H", body, csum_offset, csum)
+    return bytes(body)
+
+
+@dataclass(frozen=True)
+class FlowAnnounce:
+    """FLOW_ANNOUNCE: (re)announce one flow to the daemon (17 bytes)."""
+
+    flow_id: FlowId
+    src: NodeId
+    dst: NodeId
+    protocol_id: int = 0
+    weight: float = 1.0
+    priority: int = 0
+    demand_bps: float = math.inf
+
+    def encode(self) -> bytes:
+        """Serialize into exactly 17 checksummed bytes."""
+        weight_q = round(self.weight * _WEIGHT_SCALE)
+        if not (1 <= weight_q <= 0xFF):
+            raise WireFormatError(
+                f"weight {self.weight} outside encodable range "
+                f"[{1 / _WEIGHT_SCALE}, {0xFF / _WEIGHT_SCALE}]"
+            )
+        if math.isinf(self.demand_bps):
+            demand_mbps = _DEMAND_INF_MBPS
+        else:
+            # Sub-Mbps demands round *up* to the wire's 1 Mbps floor: a
+            # zero-Mbps encoding would decode into a spec no allocator
+            # accepts (demands must be positive).
+            demand_mbps = max(1, int(round(self.demand_bps / 1e6)))
+            if not (demand_mbps < _DEMAND_INF_MBPS):
+                raise WireFormatError(
+                    f"demand {self.demand_bps} bps outside 24-bit Mbps range"
+                )
+        if not (0 <= self.priority <= 0xFF):
+            raise WireFormatError(f"priority {self.priority} does not fit one byte")
+        if not (0 <= self.protocol_id <= 0xFF):
+            raise WireFormatError(f"protocol id {self.protocol_id} does not fit one byte")
+        body = bytearray(
+            struct.pack(
+                _ANNOUNCE_FMT,
+                TYPE_FLOW_ANNOUNCE << 4,
+                self.protocol_id,
+                self.flow_id,
+                self.src,
+                self.dst,
+                weight_q,
+                self.priority,
+                demand_mbps.to_bytes(3, "big"),
+                0,
+            )
+        )
+        return _sealed(body, ANNOUNCE_SIZE - 2)
+
+    @staticmethod
+    def decode(body: bytes) -> "FlowAnnounce":
+        """Parse and checksum-verify a FLOW_ANNOUNCE body."""
+        if len(body) != ANNOUNCE_SIZE:
+            raise WireFormatError(
+                f"FLOW_ANNOUNCE is {ANNOUNCE_SIZE} bytes, got {len(body)}"
+            )
+        (type_b, proto, flow, src, dst, weight_q, priority, demand_bytes, _csum) = (
+            struct.unpack(_ANNOUNCE_FMT, body)
+        )
+        if (type_b >> 4) != TYPE_FLOW_ANNOUNCE:
+            raise WireFormatError(f"not a FLOW_ANNOUNCE (type {type_b >> 4:#x})")
+        _checked(body, ANNOUNCE_SIZE - 2, "FLOW_ANNOUNCE")
+        demand_mbps = int.from_bytes(demand_bytes, "big")
+        return FlowAnnounce(
+            flow_id=flow,
+            src=src,
+            dst=dst,
+            protocol_id=proto,
+            weight=weight_q / _WEIGHT_SCALE,
+            priority=priority,
+            demand_bps=(
+                math.inf if demand_mbps == _DEMAND_INF_MBPS else demand_mbps * 1e6
+            ),
+        )
+
+
+def _encode_flow_ref(type_code: int, flow_id: FlowId) -> bytes:
+    body = bytearray(struct.pack(_FLOW_REF_FMT, type_code << 4, 0, flow_id, 0))
+    return _sealed(body, FLOW_REF_SIZE - 2)
+
+
+def _decode_flow_ref(body: bytes, type_code: int, what: str) -> FlowId:
+    if len(body) != FLOW_REF_SIZE:
+        raise WireFormatError(f"{what} is {FLOW_REF_SIZE} bytes, got {len(body)}")
+    type_b, _rsvd, flow, _csum = struct.unpack(_FLOW_REF_FMT, body)
+    if (type_b >> 4) != type_code:
+        raise WireFormatError(f"not a {what} (type {type_b >> 4:#x})")
+    _checked(body, FLOW_REF_SIZE - 2, what)
+    return flow
+
+
+@dataclass(frozen=True)
+class FlowFinish:
+    """FLOW_FINISH: retire one flow from the daemon's table (8 bytes)."""
+
+    flow_id: FlowId
+
+    def encode(self) -> bytes:
+        """Serialize into exactly 8 checksummed bytes."""
+        return _encode_flow_ref(TYPE_FLOW_FINISH, self.flow_id)
+
+    @staticmethod
+    def decode(body: bytes) -> "FlowFinish":
+        """Parse and checksum-verify a FLOW_FINISH body."""
+        return FlowFinish(_decode_flow_ref(body, TYPE_FLOW_FINISH, "FLOW_FINISH"))
+
+
+@dataclass(frozen=True)
+class AllocQuery:
+    """ALLOC_QUERY: ask the daemon for one flow's allocated rate (8 bytes)."""
+
+    flow_id: FlowId
+
+    def encode(self) -> bytes:
+        """Serialize into exactly 8 checksummed bytes."""
+        return _encode_flow_ref(TYPE_ALLOC_QUERY, self.flow_id)
+
+    @staticmethod
+    def decode(body: bytes) -> "AllocQuery":
+        """Parse and checksum-verify an ALLOC_QUERY body."""
+        return AllocQuery(_decode_flow_ref(body, TYPE_ALLOC_QUERY, "ALLOC_QUERY"))
+
+
+@dataclass(frozen=True)
+class AllocReply:
+    """ALLOC_REPLY: one flow's rate at full float64 precision (20 bytes).
+
+    ``known`` is ``False`` when the queried flow is not in the daemon's
+    table (rate 0, no bottleneck).  The full-width rate — unlike the
+    quantized announce demand — is what makes the kill/restore test's
+    byte-identity meaningful.
+    """
+
+    flow_id: FlowId
+    known: bool
+    rate_bps: float = 0.0
+    bottleneck_link: Optional[int] = None
+
+    def encode(self) -> bytes:
+        """Serialize into exactly 20 checksummed bytes."""
+        flags = (_FLAG_KNOWN if self.known else 0) | (
+            _FLAG_BOTTLENECK if self.bottleneck_link is not None else 0
+        )
+        body = bytearray(
+            struct.pack(
+                _ALLOC_REPLY_FMT,
+                TYPE_ALLOC_REPLY << 4,
+                flags,
+                self.flow_id,
+                self.rate_bps,
+                -1 if self.bottleneck_link is None else self.bottleneck_link,
+                0,
+            )
+        )
+        return _sealed(body, ALLOC_REPLY_SIZE - 2)
+
+    @staticmethod
+    def decode(body: bytes) -> "AllocReply":
+        """Parse and checksum-verify an ALLOC_REPLY body."""
+        if len(body) != ALLOC_REPLY_SIZE:
+            raise WireFormatError(
+                f"ALLOC_REPLY is {ALLOC_REPLY_SIZE} bytes, got {len(body)}"
+            )
+        type_b, flags, flow, rate, bottleneck, _csum = struct.unpack(
+            _ALLOC_REPLY_FMT, body
+        )
+        if (type_b >> 4) != TYPE_ALLOC_REPLY:
+            raise WireFormatError(f"not an ALLOC_REPLY (type {type_b >> 4:#x})")
+        _checked(body, ALLOC_REPLY_SIZE - 2, "ALLOC_REPLY")
+        return AllocReply(
+            flow_id=flow,
+            known=bool(flags & _FLAG_KNOWN),
+            rate_bps=rate,
+            bottleneck_link=(bottleneck if flags & _FLAG_BOTTLENECK else None),
+        )
+
+
+@dataclass(frozen=True)
+class SnapshotSubscribe:
+    """SNAPSHOT_SUB: subscribe this connection to telemetry snapshots.
+
+    ``max_events`` bounds how many SNAPSHOT_EVENTs the daemon will send
+    (0 = unbounded); the daemon sends the current snapshot immediately and
+    one per state mutation thereafter.
+    """
+
+    max_events: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize into exactly 8 checksummed bytes."""
+        body = bytearray(
+            struct.pack(_SNAPSHOT_SUB_FMT, TYPE_SNAPSHOT_SUB << 4, 0, self.max_events, 0)
+        )
+        return _sealed(body, SNAPSHOT_SUB_SIZE - 2)
+
+    @staticmethod
+    def decode(body: bytes) -> "SnapshotSubscribe":
+        """Parse and checksum-verify a SNAPSHOT_SUB body."""
+        if len(body) != SNAPSHOT_SUB_SIZE:
+            raise WireFormatError(
+                f"SNAPSHOT_SUB is {SNAPSHOT_SUB_SIZE} bytes, got {len(body)}"
+            )
+        type_b, _rsvd, max_events, _csum = struct.unpack(_SNAPSHOT_SUB_FMT, body)
+        if (type_b >> 4) != TYPE_SNAPSHOT_SUB:
+            raise WireFormatError(f"not a SNAPSHOT_SUB (type {type_b >> 4:#x})")
+        _checked(body, SNAPSHOT_SUB_SIZE - 2, "SNAPSHOT_SUB")
+        return SnapshotSubscribe(max_events=max_events)
+
+
+@dataclass(frozen=True)
+class SnapshotEvent:
+    """SNAPSHOT_EVENT: one telemetry snapshot, JSON payload (variable size).
+
+    ``seq`` is the daemon's mutation sequence number at snapshot time; the
+    payload is canonical (sorted-keys) JSON so identical state serializes
+    identically.
+    """
+
+    seq: int
+    payload: dict
+
+    def encode(self) -> bytes:
+        """Serialize header + canonical-JSON payload + trailing checksum."""
+        blob = json.dumps(self.payload, sort_keys=True, separators=(",", ":")).encode()
+        if _SNAPSHOT_EVENT_HEAD + len(blob) + 2 > MAX_FRAME_SIZE:
+            raise WireFormatError("snapshot payload exceeds MAX_FRAME_SIZE")
+        body = bytearray(
+            struct.pack(
+                _SNAPSHOT_EVENT_FMT,
+                TYPE_SNAPSHOT_EVENT << 4,
+                0,
+                self.seq,
+                len(blob),
+            )
+        )
+        body += blob
+        body += b"\x00\x00"
+        return _sealed(body, len(body) - 2)
+
+    @staticmethod
+    def decode(body: bytes) -> "SnapshotEvent":
+        """Parse and checksum-verify a SNAPSHOT_EVENT body."""
+        if len(body) < _SNAPSHOT_EVENT_HEAD + 2:
+            raise WireFormatError(f"SNAPSHOT_EVENT truncated at {len(body)} bytes")
+        type_b, _rsvd, seq, payload_len = struct.unpack_from(_SNAPSHOT_EVENT_FMT, body)
+        if (type_b >> 4) != TYPE_SNAPSHOT_EVENT:
+            raise WireFormatError(f"not a SNAPSHOT_EVENT (type {type_b >> 4:#x})")
+        if len(body) != _SNAPSHOT_EVENT_HEAD + payload_len + 2:
+            raise WireFormatError(
+                f"SNAPSHOT_EVENT length mismatch: header says {payload_len} "
+                f"payload bytes, body has {len(body) - _SNAPSHOT_EVENT_HEAD - 2}"
+            )
+        _checked(body, len(body) - 2, "SNAPSHOT_EVENT")
+        blob = body[_SNAPSHOT_EVENT_HEAD:-2]
+        try:
+            payload = json.loads(blob.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireFormatError(f"SNAPSHOT_EVENT payload is not JSON: {exc}") from None
+        return SnapshotEvent(seq=seq, payload=payload)
+
+
+@dataclass(frozen=True)
+class ControlAck:
+    """CONTROL_ACK: announce/finish acknowledgement (8 bytes)."""
+
+    flow_id: FlowId
+    code: int = ACK_OK
+
+    def encode(self) -> bytes:
+        """Serialize into exactly 8 checksummed bytes."""
+        if not (0 <= self.code <= 0xFF):
+            raise WireFormatError(f"ack code {self.code} does not fit one byte")
+        body = bytearray(
+            struct.pack(_ACK_FMT, TYPE_CONTROL_ACK << 4, self.code, self.flow_id, 0)
+        )
+        return _sealed(body, ACK_SIZE - 2)
+
+    @staticmethod
+    def decode(body: bytes) -> "ControlAck":
+        """Parse and checksum-verify a CONTROL_ACK body."""
+        if len(body) != ACK_SIZE:
+            raise WireFormatError(f"CONTROL_ACK is {ACK_SIZE} bytes, got {len(body)}")
+        type_b, code, flow, _csum = struct.unpack(_ACK_FMT, body)
+        if (type_b >> 4) != TYPE_CONTROL_ACK:
+            raise WireFormatError(f"not a CONTROL_ACK (type {type_b >> 4:#x})")
+        _checked(body, ACK_SIZE - 2, "CONTROL_ACK")
+        return ControlAck(flow_id=flow, code=code)
+
+
+@dataclass(frozen=True)
+class ControlError:
+    """CONTROL_ERROR: decode/dispatch failure report (variable size)."""
+
+    code: int
+    message: str = ""
+
+    def encode(self) -> bytes:
+        """Serialize header + UTF-8 message + trailing checksum."""
+        msg = self.message.encode()[:0xFFFF]
+        body = bytearray(
+            struct.pack(_ERROR_FMT, TYPE_CONTROL_ERROR << 4, self.code, len(msg))
+        )
+        body += msg
+        body += b"\x00\x00"
+        return _sealed(body, len(body) - 2)
+
+    @staticmethod
+    def decode(body: bytes) -> "ControlError":
+        """Parse and checksum-verify a CONTROL_ERROR body."""
+        if len(body) < _ERROR_HEAD + 2:
+            raise WireFormatError(f"CONTROL_ERROR truncated at {len(body)} bytes")
+        type_b, code, msg_len = struct.unpack_from(_ERROR_FMT, body)
+        if (type_b >> 4) != TYPE_CONTROL_ERROR:
+            raise WireFormatError(f"not a CONTROL_ERROR (type {type_b >> 4:#x})")
+        if len(body) != _ERROR_HEAD + msg_len + 2:
+            raise WireFormatError("CONTROL_ERROR length mismatch")
+        _checked(body, len(body) - 2, "CONTROL_ERROR")
+        return ControlError(code=code, message=body[_ERROR_HEAD:-2].decode("utf-8", "replace"))
+
+
+ControlMessage = Union[
+    FlowAnnounce,
+    FlowFinish,
+    AllocQuery,
+    AllocReply,
+    SnapshotSubscribe,
+    SnapshotEvent,
+    ControlAck,
+    ControlError,
+]
+
+_DECODERS = {
+    TYPE_FLOW_ANNOUNCE: FlowAnnounce.decode,
+    TYPE_FLOW_FINISH: FlowFinish.decode,
+    TYPE_ALLOC_QUERY: AllocQuery.decode,
+    TYPE_ALLOC_REPLY: AllocReply.decode,
+    TYPE_SNAPSHOT_SUB: SnapshotSubscribe.decode,
+    TYPE_SNAPSHOT_EVENT: SnapshotEvent.decode,
+    TYPE_CONTROL_ACK: ControlAck.decode,
+    TYPE_CONTROL_ERROR: ControlError.decode,
+}
+
+
+def decode_control(body: bytes) -> ControlMessage:
+    """Decode any control message body, dispatching on the type nibble.
+
+    Raises :class:`~repro.errors.WireFormatError` on empty/truncated
+    bodies, unknown types and checksum mismatches.
+    """
+    code = control_type(body)
+    try:
+        decoder = _DECODERS[code]
+    except KeyError:
+        raise WireFormatError(f"unknown control message type {code:#x}") from None
+    return decoder(body)
+
+
+def encode_frame(body: bytes) -> bytes:
+    """Prefix *body* with its 4-byte big-endian length."""
+    if len(body) > MAX_FRAME_SIZE:
+        raise WireFormatError(f"frame of {len(body)} bytes exceeds MAX_FRAME_SIZE")
+    return struct.pack(">I", len(body)) + body
+
+
+def split_frames(buffer: bytes) -> Tuple[list, bytes]:
+    """Split *buffer* into complete frame bodies plus the unconsumed tail.
+
+    Raises :class:`~repro.errors.WireFormatError` when a length prefix
+    exceeds :data:`MAX_FRAME_SIZE` (stream is considered corrupt).
+    """
+    bodies = []
+    offset = 0
+    while len(buffer) - offset >= 4:
+        (length,) = struct.unpack_from(">I", buffer, offset)
+        if length > MAX_FRAME_SIZE:
+            raise WireFormatError(f"frame length {length} exceeds MAX_FRAME_SIZE")
+        if len(buffer) - offset - 4 < length:
+            break
+        bodies.append(bytes(buffer[offset + 4 : offset + 4 + length]))
+        offset += 4 + length
+    return bodies, bytes(buffer[offset:])
+
+
+__all__ = [
+    "ACK_OK",
+    "ACK_UNKNOWN_FLOW",
+    "ALLOC_REPLY_SIZE",
+    "ANNOUNCE_SIZE",
+    "AllocQuery",
+    "AllocReply",
+    "ControlAck",
+    "ControlError",
+    "ControlMessage",
+    "ERR_MALFORMED",
+    "ERR_REJECTED",
+    "ERR_UNSUPPORTED",
+    "FLOW_REF_SIZE",
+    "FlowAnnounce",
+    "FlowFinish",
+    "MAX_FRAME_SIZE",
+    "SnapshotEvent",
+    "SnapshotSubscribe",
+    "TYPE_ALLOC_QUERY",
+    "TYPE_ALLOC_REPLY",
+    "TYPE_CONTROL_ACK",
+    "TYPE_CONTROL_ERROR",
+    "TYPE_FLOW_ANNOUNCE",
+    "TYPE_FLOW_FINISH",
+    "TYPE_SNAPSHOT_EVENT",
+    "TYPE_SNAPSHOT_SUB",
+    "control_type",
+    "decode_control",
+    "encode_frame",
+    "split_frames",
+]

@@ -32,10 +32,24 @@ seeds = st.integers(min_value=0, max_value=2**63 - 1)
 def _check_runnable(scenario: Scenario) -> None:
     """A spec is valid iff every construction step up to the simulation
     itself accepts it (topology, storm, trace, SimConfig; for selection
-    kind: topology, objective, protocol pool, search budget)."""
+    kind: topology, objective, protocol pool, search budget; for churn
+    kind: topology, bounded op budget, fallback only on storm-safe
+    grids)."""
     params = scenario.params_dict
     campaign = Campaign(name="probe", scenarios=(scenario,), seed=1)
     (task,) = campaign.expand()
+    if scenario.kind == "churn":
+        topology = _build_topology(task)
+        # Bounded replay: the fuzz loop's safety contract for this kind.
+        assert 0 < int(params["n_ops"]) <= 500
+        assert 0 < int(params["max_flows"]) <= 64
+        fallback_at = params.get("fallback_at")
+        if fallback_at is not None:
+            assert 0 <= int(fallback_at) < int(params["n_ops"])
+            # Injection rides only grids that survive a symmetric loss.
+            assert scenario.topology != "clos" and topology.n_nodes >= 8
+            assert int(params["fail_links"]) >= 1
+        return
     if scenario.kind == "selection":
         from repro.experiments.tasks import _make_objective
         from repro.routing.base import make_protocol

@@ -1,0 +1,57 @@
+"""The fuzzer's churn axis replays against the daemon's state machine.
+
+``kind="churn"`` scenarios drawn by :mod:`repro.fuzz.generator` execute
+through the same :class:`~repro.service.state.ServiceState` entry points
+the asyncio daemon dispatches to (announce/finish), with the scratch
+cross-check judging every step — so the fuzzer exercises the control
+plane in-process, no sockets required.
+"""
+
+import pytest
+
+from repro.experiments import Campaign
+from repro.experiments.tasks import execute_task
+from repro.fuzz import generate_scenario
+from repro.validation import sim_result_verdicts
+
+pytestmark = pytest.mark.service
+
+
+def _churn_scenarios(count, with_fallback=None):
+    found = []
+    for seed in range(4000):
+        scenario = generate_scenario(seed, f"churn-{seed:05d}")
+        if scenario.kind != "churn":
+            continue
+        has_fallback = scenario.param("fallback_at") is not None
+        if with_fallback is not None and has_fallback != with_fallback:
+            continue
+        found.append(scenario)
+        if len(found) == count:
+            return found
+    raise AssertionError("generator never produced the requested churn specs")
+
+
+def _execute(scenario):
+    campaign = Campaign(name="t", scenarios=(scenario,), seed=3)
+    (task,) = campaign.expand()
+    return execute_task(task)
+
+
+class TestFuzzChurnAxis:
+    def test_generated_churn_scenarios_pass_the_oracle(self):
+        for scenario in _churn_scenarios(3):
+            result = _execute(scenario)
+            verdicts = {v.oracle: v for v in sim_result_verdicts(result)}
+            assert verdicts["churn_vs_scratch"].ok, scenario.name
+            assert result["churn"]["checks"] > 0
+
+    def test_fallback_injection_scenarios_force_recomputes(self):
+        (scenario,) = _churn_scenarios(1, with_fallback=True)
+        result = _execute(scenario)
+        assert result["churn"]["fallback_reasons"].get("rebuild") == 1
+        assert sim_result_verdicts(result)[-1].ok
+
+    def test_replay_is_deterministic(self):
+        (scenario,) = _churn_scenarios(1)
+        assert _execute(scenario) == _execute(scenario)

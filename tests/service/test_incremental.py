@@ -1,0 +1,157 @@
+"""Unit tests for the incremental max-min allocator.
+
+The invariant under test everywhere: after any supported operation the
+incremental allocator's rates equal a from-scratch water-fill over the
+same flow set (max-min allocations are unique, so "equal" is meaningful).
+Operations it cannot certify must fall back to a counted full recompute,
+never to a wrong answer.
+"""
+
+import math
+
+import pytest
+
+from repro.congestion import FlowSpec, IncrementalWaterfill
+from repro.topology import TorusTopology
+from repro.validation import FaultInjector, compare_against_scratch
+
+pytestmark = pytest.mark.service
+
+
+def _spec(fid, src, dst, **kw):
+    return FlowSpec(flow_id=fid, src=src, dst=dst, protocol=kw.pop("protocol", "ecmp"), **kw)
+
+
+@pytest.fixture
+def torus():
+    return TorusTopology((4, 4))
+
+
+def assert_matches_scratch(inc, tol=1e-9):
+    errors = compare_against_scratch(inc)
+    worst = max(errors.values(), default=0.0)
+    assert worst <= tol, f"incremental diverged from scratch by {worst}"
+
+
+class TestArrivalsAndDepartures:
+    def test_single_arrival_matches_scratch(self, torus):
+        inc = IncrementalWaterfill(torus)
+        inc.add_flow(_spec(1, 0, 5))
+        assert_matches_scratch(inc)
+        assert inc.n_flows == 1
+        assert inc.rate(1) > 0
+
+    def test_interleaved_ops_match_scratch(self, torus):
+        inc = IncrementalWaterfill(torus)
+        for fid in range(8):
+            inc.add_flow(_spec(fid, fid, (fid + 7) % 16))
+            assert_matches_scratch(inc)
+        for fid in (2, 5):
+            assert inc.remove_flow(fid)
+            assert_matches_scratch(inc)
+        inc.add_flow(_spec(9, 3, 12, weight=2.0))
+        assert_matches_scratch(inc)
+
+    def test_remove_unknown_flow_is_noop(self, torus):
+        inc = IncrementalWaterfill(torus)
+        inc.add_flow(_spec(1, 0, 5))
+        before = inc.stats()
+        assert not inc.remove_flow(42)
+        assert inc.stats() == before
+
+    def test_reannounce_replaces_spec(self, torus):
+        inc = IncrementalWaterfill(torus)
+        inc.add_flow(_spec(1, 0, 5))
+        inc.add_flow(_spec(1, 0, 5, weight=4.0))
+        assert inc.n_flows == 1
+        assert [s.weight for s in inc.flows()] == [4.0]
+        assert_matches_scratch(inc)
+
+    def test_demand_update_matches_scratch(self, torus):
+        inc = IncrementalWaterfill(torus)
+        inc.add_flow(_spec(1, 0, 5))
+        inc.add_flow(_spec(2, 0, 5))
+        inc.update_demand(1, 0.1 * torus.capacity_bps)
+        assert_matches_scratch(inc)
+        assert inc.rate(1) == pytest.approx(0.1 * torus.capacity_bps)
+
+    def test_departure_frees_capacity(self, torus):
+        inc = IncrementalWaterfill(torus)
+        inc.add_flow(_spec(1, 0, 1))
+        inc.add_flow(_spec(2, 0, 1))
+        shared = inc.rate(1)
+        inc.remove_flow(2)
+        assert inc.rate(1) > shared
+        assert_matches_scratch(inc)
+
+
+class TestFallbacks:
+    def test_priorities_force_fallback(self, torus):
+        inc = IncrementalWaterfill(torus)
+        inc.add_flow(_spec(1, 0, 5))
+        inc.add_flow(_spec(2, 0, 5, priority=1))
+        stats = inc.stats()
+        assert stats["fallback_recomputes"] >= 1
+        assert "priorities" in stats["fallback_reasons"]
+        assert_matches_scratch(inc)
+
+    def test_protocol_update_forces_fallback(self, torus):
+        inc = IncrementalWaterfill(torus)
+        inc.add_flow(_spec(1, 0, 5))
+        inc.update_protocol(1, "rps")
+        stats = inc.stats()
+        assert stats["fallback_reasons"].get("protocol_change") == 1
+        assert [s.protocol for s in inc.flows()] == ["rps"]
+        assert_matches_scratch(inc)
+
+    def test_rebuild_on_degraded_topology(self, torus):
+        inc = IncrementalWaterfill(torus)
+        for fid in range(6):
+            inc.add_flow(_spec(fid, fid, (fid + 5) % 16))
+        degraded, failed = FaultInjector(seed=3).fail_links(
+            torus, 2, require_connected=True, symmetric=True
+        )
+        assert failed
+        inc.rebuild(topology=degraded)
+        stats = inc.stats()
+        assert stats["fallback_reasons"].get("rebuild") == 1
+        assert inc.n_flows == 6
+        assert_matches_scratch(inc)
+
+    def test_incremental_ratio_reported(self, torus):
+        inc = IncrementalWaterfill(torus)
+        for fid in range(5):
+            inc.add_flow(_spec(fid, fid, fid + 8))
+        stats = inc.stats()
+        assert stats["incremental_ops"] + stats["fallback_recomputes"] == 5
+        assert 0.0 <= stats["incremental_ratio"] <= 1.0
+
+
+class TestStateRoundTrip:
+    def test_state_dict_restores_exact_rates(self, torus):
+        inc = IncrementalWaterfill(torus)
+        for fid in range(6):
+            inc.add_flow(
+                _spec(fid, fid, (fid + 3) % 16, demand_bps=(fid + 1) * 1e9)
+            )
+        state = inc.state_dict()
+        clone = IncrementalWaterfill(torus)
+        clone.load_state(state)
+        for spec in inc.flows():
+            assert clone.rate(spec.flow_id) == inc.rate(spec.flow_id)  # bit-exact
+            assert clone.bottleneck(spec.flow_id) == inc.bottleneck(spec.flow_id)
+        # The restored allocator keeps allocating correctly.
+        clone.add_flow(_spec(99, 2, 13))
+        assert_matches_scratch(clone)
+
+    def test_state_dict_json_round_trip_is_lossless(self, torus):
+        import json
+
+        inc = IncrementalWaterfill(torus)
+        inc.add_flow(_spec(1, 0, 5, demand_bps=math.inf))
+        inc.add_flow(_spec(2, 1, 6, demand_bps=1e9 / 3.0))
+        state = json.loads(json.dumps(inc.state_dict()))
+        clone = IncrementalWaterfill(torus)
+        clone.load_state(state)
+        assert clone.rate(1) == inc.rate(1)
+        assert clone.rate(2) == inc.rate(2)

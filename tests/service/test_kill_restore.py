@@ -1,0 +1,129 @@
+"""Kill/restart durability: a SIGKILLed daemon resumes bit-for-bit.
+
+The contract (ISSUE acceptance): start ``repro serve`` with a snapshot
+path, announce flows, SIGKILL the process (no shutdown hook runs), start
+a fresh daemon from the same snapshot — and every ALLOC_REPLY must be
+byte-identical both to the pre-kill answers and to an uninterrupted
+in-process reference that replayed the same announcements.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.service import ServiceClient, ServiceState, read_port_file, spec_from_announce
+from repro.topology import TorusTopology
+from repro.wire.control import FlowAnnounce
+
+pytestmark = pytest.mark.service
+
+_DIMS = (3, 3)
+_HEADROOM = 0.0
+
+#: (flow_id, src, dst, protocol, weight, demand_bps) — mixed protocols,
+#: weights and finite/infinite demands, all wire-quantization-exact.
+_FLOWS = (
+    (1, 0, 4, "ecmp", 1.0, float("inf")),
+    (2, 0, 4, "ecmp", 2.0, float("inf")),
+    (3, 1, 5, "rps", 1.0, 2_000 * 1e6),
+    (4, 2, 8, "ecmp", 1.5, float("inf")),
+    (5, 3, 7, "rps", 1.0, float("inf")),
+    (6, 6, 2, "ecmp", 0.5, 500 * 1e6),
+)
+
+
+def _serve(tmp_path, tag):
+    port_file = tmp_path / f"port-{tag}"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--topology",
+            "torus",
+            "--dims",
+            "x".join(map(str, _DIMS)),
+            "--headroom",
+            str(_HEADROOM),
+            "--snapshot",
+            str(tmp_path / "snapshot.json"),
+            "--port-file",
+            str(port_file),
+            "--seconds",
+            "60",
+        ],
+        env={**os.environ, "PYTHONPATH": "src"},
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        port = read_port_file(port_file, timeout=30.0)
+    except Exception:
+        process.kill()
+        process.wait()
+        raise
+    return process, port
+
+
+def _announce_all(client):
+    for fid, src, dst, protocol, weight, demand in _FLOWS:
+        client.announce(
+            fid, src=src, dst=dst, protocol=protocol, weight=weight, demand_bps=demand
+        )
+
+
+def _reference_replies():
+    """Uninterrupted in-process run over the identical (wire-quantized)
+    announcements, encoding replies exactly like the daemon does."""
+    state = ServiceState(TorusTopology(_DIMS), headroom=_HEADROOM)
+    for fid, src, dst, protocol, weight, demand in _FLOWS:
+        from repro.routing import protocol_class
+
+        message = FlowAnnounce(
+            flow_id=fid,
+            src=src,
+            dst=dst,
+            protocol_id=protocol_class(protocol).protocol_id,
+            weight=weight,
+            demand_bps=demand,
+        )
+        decoded = FlowAnnounce.decode(message.encode())
+        state.announce(spec_from_announce(decoded))
+    return [state.query(fid).encode() for fid, *_ in _FLOWS]
+
+
+def test_sigkill_then_restore_is_byte_identical(tmp_path):
+    flow_ids = [fid for fid, *_ in _FLOWS]
+
+    process, port = _serve(tmp_path, "first")
+    try:
+        with ServiceClient("127.0.0.1", port) as client:
+            _announce_all(client)
+            before = client.query_many_raw(flow_ids)
+        # SIGKILL: no graceful shutdown, no final snapshot write.
+        process.kill()
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+    process, port = _serve(tmp_path, "second")
+    try:
+        with ServiceClient("127.0.0.1", port) as client:
+            after = client.query_many_raw(flow_ids)
+            # The restored daemon keeps serving mutations too.
+            assert client.finish(flow_ids[0]).code == 0
+            assert not client.query(flow_ids[0]).known
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
+
+    assert after == before, "restored allocation answers differ from pre-kill"
+    assert before == _reference_replies(), (
+        "daemon answers differ from the uninterrupted in-process reference"
+    )

@@ -20,6 +20,7 @@ SUBPACKAGES = (
     "repro.obs",
     "repro.routing",
     "repro.selection",
+    "repro.service",
     "repro.sim",
     "repro.telemetry",
     "repro.topology",
