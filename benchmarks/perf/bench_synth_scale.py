@@ -1,0 +1,139 @@
+"""Macrobenchmark: fabric synthesis + hierarchical weight computation.
+
+Tracks the two costs that gate multi-rack campaigns (the synth tentpole's
+10k-node axis): deterministically synthesizing a flat rack-of-racks fabric,
+and computing template-lifted WLB/VLB link weights on it, at 1k / 5k / 10k
+nodes.  Records median synthesis wall-clock and weight-computation
+throughput (source-destination pairs per second) into ``BENCH_synth.json``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf/bench_synth_scale.py [--quick]
+        [--check] [--record --rev <label>]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from perfcommon import (
+    REPO_ROOT,
+    check_regression,
+    load_history,
+    make_parser,
+    median_time,
+    record_entry,
+    report,
+    save_history,
+)
+
+from repro.routing.base import make_protocol
+from repro.topology import FabricSpec, synthesize
+
+SCENARIOS = {
+    # name: (n_racks, rack_dims, synth reps, weight pairs)
+    "synth_flat_1k": (8, (5, 5, 5), 5, 200),
+    "synth_flat_5k": (40, (5, 5, 5), 3, 200),
+    "synth_flat_10k": (125, (4, 4, 5), 3, 200),
+}
+QUICK_SCENARIOS = ("synth_flat_1k",)
+QUICK_REPS = 1
+SEED = 42
+
+
+def _spec(n_racks: int, rack_dims: tuple) -> FabricSpec:
+    return FabricSpec(
+        design="flat",
+        rack="torus",
+        rack_dims=rack_dims,
+        n_racks=n_racks,
+        gateway_ports=4,
+        oversubscription=400.0,
+        seed=SEED,
+    )
+
+
+def _weight_throughput(topology, protocol_name: str, n_pairs: int) -> float:
+    """Cold pairs/s for ``link_weights`` over seeded random cross-rack pairs.
+
+    A fresh protocol per repetition so every measurement pays the real
+    template-dag and rack-route computation, not memo-dict lookups.
+    """
+    rng = random.Random(SEED)
+    pairs = []
+    for _ in range(n_pairs):
+        src = rng.randrange(topology.n_nodes)
+        dst = rng.randrange(topology.n_nodes - 1)
+        if dst >= src:
+            dst += 1
+        pairs.append((src, dst))
+
+    def run():
+        protocol = make_protocol(protocol_name, topology)
+        for src, dst in pairs:
+            protocol.link_weights(src, dst)
+
+    return n_pairs / median_time(run, 3)
+
+
+def run_scenario(n_racks: int, rack_dims: tuple, reps: int, n_pairs: int) -> dict:
+    spec = _spec(n_racks, rack_dims)
+    median_s = median_time(lambda: synthesize(spec), reps)
+    fabric = synthesize(spec)
+    entry = {
+        "median_s": round(median_s, 6),
+        "nodes": fabric.topology.n_nodes,
+        "racks": n_racks,
+        "links": fabric.topology.n_links,
+        "nodes_per_s": round(fabric.topology.n_nodes / median_s, 1),
+        "wlb_pairs_per_s": round(
+            _weight_throughput(fabric.topology, "hier_wlb", n_pairs), 1
+        ),
+        "vlb_pairs_per_s": round(
+            _weight_throughput(fabric.topology, "hier_vlb", n_pairs), 1
+        ),
+        "seed": SEED,
+    }
+    return entry
+
+
+def main() -> int:
+    args = make_parser(__doc__.splitlines()[0]).parse_args()
+    out = args.out or (REPO_ROOT / "BENCH_synth.json")
+    doc = load_history(out, "bench_synth_scale")
+    print("bench_synth_scale" + (" (quick)" if args.quick else ""))
+    failures = []
+    for name, (n_racks, rack_dims, reps, n_pairs) in SCENARIOS.items():
+        if args.quick:
+            if name not in QUICK_SCENARIOS:
+                continue
+            reps, n_pairs = QUICK_REPS, 50
+        entry = run_scenario(n_racks, rack_dims, reps, n_pairs)
+        report(name, entry)
+        error = check_regression(doc, name, entry["median_s"]) if args.check else ""
+        if error:
+            failures.append(error)
+        if args.record and not args.quick:
+            entry["rev"] = args.rev
+            record_entry(
+                doc,
+                name,
+                f"synthesize a flat fabric of {n_racks} x "
+                f"{'x'.join(map(str, rack_dims))} torus racks "
+                f"(seed {SEED}), then template-lifted hier_wlb/hier_vlb "
+                f"link weights over {n_pairs} rack-shift pairs",
+                entry,
+            )
+    if args.record and not args.quick:
+        save_history(out, doc)
+        print(f"recorded to {out}")
+    for error in failures:
+        print(f"REGRESSION: {error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,14 @@
 """Analysis toolkit: channel-load throughput, statistics, table printers."""
 
 from .channel_load import (
+    TIER_GATEWAY,
+    TIER_INTRA,
     channel_loads,
+    link_tiers,
     max_channel_utilization,
     saturation_throughput,
     throughput_table,
+    tiered_channel_loads,
 )
 from .stats import (
     SummaryStats,
@@ -19,6 +23,8 @@ from .tables import format_comparison, format_series, format_table
 
 __all__ = [
     "SummaryStats",
+    "TIER_GATEWAY",
+    "TIER_INTRA",
     "cdf_at",
     "channel_loads",
     "empirical_cdf",
@@ -26,10 +32,12 @@ __all__ = [
     "format_series",
     "format_table",
     "ks_distance",
+    "link_tiers",
     "max_channel_utilization",
     "median",
     "normalized_against",
     "percentile",
     "saturation_throughput",
     "throughput_table",
+    "tiered_channel_loads",
 ]

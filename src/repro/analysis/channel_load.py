@@ -6,17 +6,32 @@ units of link capacity) and γ_max is the largest per-unit-injection channel
 load the pattern induces, the network saturates at ``θ = 1 / γ_max``.
 Figure 2 reports exactly this number for four routing algorithms and six
 patterns on an 8-ary 2-cube.
+
+On *composed* multi-rack graphs (see :mod:`repro.topology.synth`) link
+capacities are heterogeneous — gateway cables are typically thinner than
+fabric links — so the single-number analysis generalizes to a per-tier one:
+a link in tier *l* with capacity ``C_l`` saturates at
+``θ_l = C_l / (C_ref · γ_l)`` where ``C_ref`` is the intra-rack (injection)
+capacity, and the fabric saturates at the minimum over links.
+:func:`tiered_channel_loads` reports this breakdown per tier (intra-rack vs
+gateway), which is how a campaign shows *where* a synthesized fabric
+bottlenecks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..routing.base import RoutingProtocol
 from ..workloads.patterns import TrafficMatrix, TrafficPattern
 from ..workloads.worstcase import worst_case_throughput
+
+#: Tier label for links inside a rack (and all links of plain topologies).
+TIER_INTRA = "intra"
+#: Tier label for gateway cables / uplinks between racks.
+TIER_GATEWAY = "gateway"
 
 
 def channel_loads(
@@ -83,6 +98,72 @@ def throughput_table(
             protocol.name: worst_case_throughput(protocol) for protocol in protocols
         }
     return table
+
+
+def link_tiers(topology) -> List[str]:
+    """Tier label per directed link, indexed by link id.
+
+    Composed graphs advertise their gateway links through an
+    ``is_bridge_link`` (:class:`~repro.interrack.topology.MultiRackFabric`)
+    or ``is_gateway_link`` (:class:`~repro.topology.synth.FatTreeFabric`)
+    predicate; every other link — and every link of a plain single-rack
+    topology — is ``TIER_INTRA``.
+    """
+    probe: Optional[Callable[[int], bool]] = getattr(
+        topology, "is_bridge_link", None
+    ) or getattr(topology, "is_gateway_link", None)
+    if probe is None:
+        return [TIER_INTRA] * topology.n_links
+    return [
+        TIER_GATEWAY if probe(link.link_id) else TIER_INTRA
+        for link in topology.links
+    ]
+
+
+def tiered_channel_loads(
+    protocol: RoutingProtocol,
+    matrix: TrafficMatrix,
+    loads: Optional[np.ndarray] = None,
+) -> Dict[str, object]:
+    """Per-tier (intra-rack vs gateway) channel-load breakdown.
+
+    Returns a dict with a ``"tiers"`` mapping — per tier: link count, link
+    capacity, max/mean per-unit-injection load and the capacity-aware
+    saturation throughput of that tier alone — plus the fabric-wide
+    ``"saturation"`` (the min over tiers) and the ``"bottleneck"`` tier
+    name.  Pass a precomputed *loads* vector to avoid recomputing
+    :func:`channel_loads`.  On homogeneous single-rack topologies the
+    single ``intra`` tier reproduces :func:`saturation_throughput` exactly.
+    """
+    topo = protocol.topology
+    if loads is None:
+        loads = channel_loads(protocol, matrix)
+    tiers = link_tiers(topo)
+    ref_capacity = topo.capacity_bps
+    by_tier: Dict[str, Dict[str, float]] = {}
+    for link in topo.links:
+        tier = by_tier.setdefault(
+            tiers[link.link_id],
+            {"links": 0, "capacity_bps": float(link.capacity_bps),
+             "max_load": 0.0, "load_sum": 0.0, "saturation": float("inf")},
+        )
+        load = float(loads[link.link_id])
+        tier["links"] += 1
+        tier["load_sum"] += load
+        if load > tier["max_load"]:
+            tier["max_load"] = load
+        if load > 0:
+            theta = link.capacity_bps / (ref_capacity * load)
+            if theta < tier["saturation"]:
+                tier["saturation"] = theta
+    overall = float("inf")
+    bottleneck = None
+    for name, tier in by_tier.items():
+        tier["mean_load"] = tier.pop("load_sum") / max(tier["links"], 1)
+        if tier["saturation"] < overall:
+            overall = tier["saturation"]
+            bottleneck = name
+    return {"tiers": by_tier, "saturation": overall, "bottleneck": bottleneck}
 
 
 def max_channel_utilization(

@@ -17,6 +17,9 @@ Commands:
 * ``figures``   — run a figure campaign and emit its results tables.
 * ``fuzz``      — coverage-guided scenario fuzzing: ``run`` the search,
   ``replay`` the regression corpus, ``shrink`` a reproducer.
+* ``synth``     — inter-rack fabric synthesis (``repro.topology.synth``):
+  ``generate`` a fabric manifest from a spec, ``describe`` its budgets and
+  per-tier channel loads, ``sweep`` the multi-rack synth campaign.
 * ``serve``     — run the long-lived control-plane daemon: incremental
   max-min allocation served over the binary control protocol
   (flow announce/finish, allocation queries, telemetry snapshot
@@ -358,7 +361,29 @@ def cmd_report(args) -> int:
                 shown += 1
         if not shown:
             print("  (aggregate series absent; see the raw JSON)")
+    tier_load = snap.get("tier_load")
+    if tier_load:
+        _print_tier_load(tier_load)
+    if snap.get("bisection_gbps") is not None:
+        print(f"bisection bandwidth: {snap['bisection_gbps']:,.1f} Gbps")
     return 0
+
+
+def _print_tier_load(tier_load) -> None:
+    """Render a per-tier channel-load section (synth manifests, Fig. 2)."""
+    bottleneck = tier_load.get("bottleneck")
+    print("per-tier channel load:")
+    for name, tier in sorted(tier_load.get("tiers", {}).items()):
+        saturation = tier.get("saturation")
+        sat_text = f"{saturation:.4f}" if saturation is not None else "inf"
+        marker = "  <-- bottleneck" if name == bottleneck else ""
+        print(f"  {name:8s} links={tier['links']:>6,} "
+              f"capacity={tier['capacity_bps'] / 1e9:6.1f} Gbps "
+              f"max_load={tier['max_load']:8.2f} "
+              f"saturation={sat_text}{marker}")
+    overall = tier_load.get("saturation")
+    if overall is not None:
+        print(f"  saturation throughput: {overall:.4f} of injection capacity")
 
 
 def cmd_figure2(args) -> int:
@@ -656,6 +681,117 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _synth_spec_from_args(args):
+    from .topology.synth import FabricSpec
+
+    return FabricSpec(
+        design=args.design,
+        rack=args.rack,
+        rack_dims=args.rack_dims,
+        n_racks=args.racks,
+        gateway_ports=args.gateway_ports,
+        oversubscription=args.oversubscription,
+        bridge_capacity_bps=(
+            args.bridge_gbps * 1e9 if args.bridge_gbps is not None else None
+        ),
+        bridge_latency_ns=args.bridge_latency_ns,
+        seed=args.seed,
+        switch_radix=args.switch_radix,
+        switch_cost=args.switch_cost,
+        cable_cost=args.cable_cost,
+        max_cost=args.max_cost,
+    )
+
+
+def _synth_tier_load(fabric, protocol_name: str, pattern_name: str):
+    """Per-tier channel loads for a synthesized fabric, JSON-sanitized."""
+    from .analysis import tiered_channel_loads
+    from .routing.base import make_protocol
+    from .workloads.patterns import COMPOSED_PATTERNS, STANDARD_PATTERNS
+
+    from .errors import ReproError
+
+    pattern = COMPOSED_PATTERNS.get(pattern_name) or STANDARD_PATTERNS.get(
+        pattern_name
+    )
+    if pattern is None:
+        raise ReproError(f"unknown traffic pattern {pattern_name!r}")
+    protocol = make_protocol(protocol_name, fabric.topology)
+    tier_load = tiered_channel_loads(protocol, pattern.matrix(fabric.topology))
+    if tier_load["saturation"] == float("inf"):
+        tier_load["saturation"] = None
+    for tier in tier_load["tiers"].values():
+        if tier["saturation"] == float("inf"):
+            tier["saturation"] = None
+    return tier_load
+
+
+def cmd_synth_generate(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .topology import bisection_bandwidth_bps
+    from .topology.synth import synthesize
+
+    fabric = synthesize(_synth_spec_from_args(args))
+    manifest = fabric.describe()
+    manifest["bisection_gbps"] = bisection_bandwidth_bps(fabric.topology) / 1e9
+    if args.protocol:
+        manifest["protocol"] = args.protocol
+        manifest["pattern"] = args.pattern
+        manifest["tier_load"] = _synth_tier_load(
+            fabric, args.protocol, args.pattern
+        )
+    text = json.dumps(manifest, indent=2, sort_keys=True)
+    if args.out:
+        from .core import atomic_write_text
+
+        atomic_write_text(Path(args.out), text + "\n")
+        print(f"manifest written to {args.out} "
+              f"(fabric fingerprint {fabric.fingerprint[:12]})")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_synth_describe(args) -> int:
+    from .topology import bisection_bandwidth_bps
+    from .topology.synth import synthesize
+
+    spec = _synth_spec_from_args(args)
+    fabric = synthesize(spec)
+    report = fabric.report
+    dims_text = "x".join(str(d) for d in spec.rack_dims)
+    print(f"design:            {spec.design} "
+          f"({spec.n_racks} x {spec.rack} {dims_text}, seed {spec.seed})")
+    print(f"nodes:             {fabric.topology.n_nodes:,} "
+          f"({report['n_racks']} racks x {report['rack_size']} nodes)")
+    print(f"directed links:    {fabric.topology.n_links:,}")
+    print(f"gateway wiring:    {len(fabric.bridges)} bridge(s), "
+          f"{report.get('switches', 0)} switch(es), "
+          f"{report.get('cables', 0)} inter-rack cable(s)")
+    print(f"gateway capacity:  {report['gateway_capacity_bps'] / 1e9:.1f} Gbps, "
+          f"{spec.bridge_latency_ns} ns")
+    achieved = report.get("oversubscription")
+    if achieved is not None:
+        print(f"oversubscription:  {achieved:.2f} (target <= "
+              f"{spec.oversubscription:g})")
+    print(f"cost:              {report['cost']:,.0f}"
+          + (f" (budget {spec.max_cost:,.0f})" if spec.max_cost else ""))
+    print(f"bisection:         "
+          f"{bisection_bandwidth_bps(fabric.topology) / 1e9:,.1f} Gbps")
+    print(f"spec fingerprint:  {spec.fingerprint()}")
+    print(f"fabric fingerprint: {fabric.fingerprint}")
+    if args.protocol:
+        _print_tier_load(_synth_tier_load(fabric, args.protocol, args.pattern))
+    return 0
+
+
+def cmd_synth_sweep(args) -> int:
+    args.figure = "synth"
+    return cmd_figures(args)
+
+
 def cmd_figures(args) -> int:
     from pathlib import Path
 
@@ -785,9 +921,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_claims = sub.add_parser("claims", help="verify headline paper claims")
     p_claims.set_defaults(func=cmd_claims)
 
-    def add_campaign_args(p):
-        p.add_argument("figure", nargs="?", default=None,
-                       help="figure campaign to run (see `repro sweep --list`)")
+    def add_campaign_args(p, figure_arg=True):
+        if figure_arg:
+            p.add_argument("figure", nargs="?", default=None,
+                           help="figure campaign to run (see `repro sweep --list`)")
         p.add_argument("--scale", default=None,
                        choices=("small", "medium", "paper"),
                        help="experiment scale (default: $REPRO_SCALE or small)")
@@ -870,6 +1007,82 @@ def build_parser() -> argparse.ArgumentParser:
     p_fshrink.add_argument("--seed", type=int, default=0)
     p_fshrink.add_argument("--max-evals", type=int, default=80)
     p_fshrink.set_defaults(func=cmd_fuzz_shrink)
+
+    p_synth = sub.add_parser(
+        "synth",
+        help="synthesize inter-rack fabrics (generate / describe / sweep)",
+    )
+    synth_sub = p_synth.add_subparsers(dest="synth_cmd", required=True)
+
+    def add_synth_spec_args(p):
+        p.add_argument("--design",
+                       choices=("flat", "ring", "fattree", "switched"),
+                       default="flat",
+                       help="inter-rack design family (default flat "
+                            "random-regular direct-connect)")
+        p.add_argument("--rack", choices=("torus", "mesh", "hypercube"),
+                       default="torus")
+        p.add_argument("--rack-dims", type=_parse_dims, default=(3, 3, 3),
+                       help="per-rack dimensions, e.g. 4x4x5")
+        p.add_argument("--racks", type=int, default=8,
+                       help="number of racks to compose")
+        p.add_argument("--gateway-ports", type=int, default=4,
+                       help="inter-rack ports available per rack")
+        p.add_argument("--oversubscription", type=float, default=64.0,
+                       help="worst acceptable host:gateway bandwidth ratio")
+        p.add_argument("--bridge-gbps", type=float, default=None,
+                       help="gateway link capacity (default: rack capacity)")
+        p.add_argument("--bridge-latency-ns", type=int, default=500)
+        p.add_argument("--seed", type=int, default=0,
+                       help="synthesis seed (flat design wiring)")
+        p.add_argument("--switch-radix", type=int, default=64,
+                       help="ports per switch (fattree/switched designs)")
+        p.add_argument("--switch-cost", type=float, default=300.0)
+        p.add_argument("--cable-cost", type=float, default=10.0)
+        p.add_argument("--max-cost", type=float, default=None,
+                       help="reject fabrics costing more than this")
+        p.add_argument("--protocol", default=None,
+                       help="also compute per-tier channel loads under this "
+                            "routing protocol (e.g. hier_wlb, hier_vlb)")
+        p.add_argument("--pattern", default="rack-shift",
+                       help="traffic pattern for --protocol "
+                            "(default rack-shift)")
+
+    p_sgen = synth_sub.add_parser(
+        "generate",
+        help="synthesize a fabric and emit its JSON manifest",
+        description="Deterministically synthesize the fabric described by "
+                    "the spec flags, enforce its port/oversubscription/cost "
+                    "budgets, and emit the manifest (spec, report, "
+                    "fingerprints, bridge wiring) as JSON — identical bytes "
+                    "for identical specs, in any process.",
+    )
+    add_synth_spec_args(p_sgen)
+    p_sgen.add_argument("--out", default=None, metavar="FILE",
+                        help="write the manifest here (atomic) instead of "
+                             "stdout; render with `repro report FILE`")
+    p_sgen.set_defaults(func=cmd_synth_generate)
+
+    p_sdesc = synth_sub.add_parser(
+        "describe",
+        help="synthesize a fabric and print a human-readable summary",
+    )
+    add_synth_spec_args(p_sdesc)
+    p_sdesc.set_defaults(func=cmd_synth_describe)
+
+    p_ssweep = synth_sub.add_parser(
+        "sweep",
+        help="run the multi-rack synth figure campaign",
+        description="Shorthand for `repro figures synth`: synthesize the "
+                    "scale's fabric designs, run the sharded rack-cut "
+                    "simulation and churn-oracle scenarios, and emit the "
+                    "synth_fabrics / synth_tier_load / synth_campaign "
+                    "tables.",
+    )
+    add_campaign_args(p_ssweep, figure_arg=False)
+    p_ssweep.add_argument("--results-dir", default="benchmarks/results",
+                          help="where to write the *.txt tables")
+    p_ssweep.set_defaults(func=cmd_synth_sweep)
 
     p_serve = sub.add_parser(
         "serve",

@@ -432,6 +432,190 @@ def _aggregate_fig07(results: ResultMap, scale: Scale) -> Dict[str, str]:
 
 
 # ----------------------------------------------------------------------
+# Synth — inter-rack fabric synthesis and the multi-rack campaign
+# ----------------------------------------------------------------------
+#: Designs the synth campaign generates and compares at every scale.
+SYNTH_DESIGNS = ("flat", "ring", "fattree")
+#: Designs that get the per-tier channel-load analysis (MultiRackFabric
+#: designs, analyzed with the template-lifted hierarchical protocols).
+SYNTH_TIERED = (("flat", "hier_wlb"), ("ring", "hier_vlb"))
+
+
+def _synth_scale_config(scale: Scale) -> Dict[str, Any]:
+    """Campaign sizing per scale.  ``paper`` is the headline run: 125 racks
+    x 80-node tori = exactly 10 000 nodes (the ROADMAP's 10k+ target)."""
+    if scale.name == "paper":
+        return {
+            "n_racks": 125, "rack_dims": (4, 4, 5),
+            "n_flows": 80, "churn_ops": 60,
+        }
+    if scale.name == "medium":
+        return {
+            "n_racks": 27, "rack_dims": (4, 4, 4),
+            "n_flows": 60, "churn_ops": 50,
+        }
+    return {
+        "n_racks": 8, "rack_dims": (3, 3, 3),
+        "n_flows": 40, "churn_ops": 40,
+    }
+
+
+def _build_synth(scale: Scale) -> Campaign:
+    cfg = _synth_scale_config(scale)
+    fabric_params: Dict[str, Any] = {
+        "n_racks": cfg["n_racks"],
+        "gateway_ports": 4,
+        "oversubscription": 320.0,
+        "synth_seed": 10,
+    }
+    tiered = dict(SYNTH_TIERED)
+    scenarios = [
+        Scenario(
+            name=f"synth-{design}",
+            kind="synth",
+            topology="synth",
+            dims=cfg["rack_dims"],
+            params={
+                "design": design,
+                **fabric_params,
+                **(
+                    {"protocol": tiered[design], "pattern": "rack-shift"}
+                    if design in tiered
+                    else {}
+                ),
+            },
+        )
+        for design in SYNTH_DESIGNS
+    ]
+    # The payoff runs, both on the flat fabric: a sharded packet simulation
+    # under the rack cut, and the incremental-vs-scratch water-fill churn
+    # oracle (<=1e-6 after every op, mid-sequence failure storm included).
+    scenarios.append(
+        Scenario(
+            name="sim-flat",
+            kind="sim",
+            topology="synth",
+            dims=cfg["rack_dims"],
+            shards=4,
+            params={
+                "design": "flat",
+                **fabric_params,
+                "workload": "poisson",
+                "stack": "tcp",
+                "n_flows": cfg["n_flows"],
+                "tau_ns": 20_000,
+                "trace_seed": 10,
+                "sim_seed": 10,
+            },
+        )
+    )
+    scenarios.append(
+        Scenario(
+            name="churn-flat",
+            kind="churn",
+            topology="synth",
+            dims=cfg["rack_dims"],
+            params={
+                "design": "flat",
+                **fabric_params,
+                "n_ops": cfg["churn_ops"],
+                "max_flows": 12,
+                "check_every": 1,
+                "fallback_at": cfg["churn_ops"] // 2,
+                "fail_links": 1,
+            },
+        )
+    )
+    return Campaign(
+        name="synth",
+        scenarios=scenarios,
+        seed=10,
+        description="Synthesized inter-rack fabrics: design comparison, "
+        "per-tier channel load, and the multi-rack sim + churn campaign",
+    )
+
+
+def _aggregate_synth(results: ResultMap, scale: Scale) -> Dict[str, str]:
+    cfg = _synth_scale_config(scale)
+
+    def res(name: str) -> Mapping[str, Any]:
+        key = f"{name}/r0"
+        if key not in results:
+            raise ExperimentError(f"synth: missing task result {key}")
+        return results[key]
+
+    fabric_rows = {}
+    for design in SYNTH_DESIGNS:
+        r = res(f"synth-{design}")
+        rep = r["report"]
+        fabric_rows[design] = [
+            rep["n_nodes"], rep["n_racks"], rep["switches"], rep["cables"],
+            f"{rep['cost']:.0f}",
+            f"{rep['oversubscription']:.2f}",
+            f"{r['bisection_gbps']:.1f}",
+            r["fingerprint"][:12],
+        ]
+    out = {
+        "synth_fabrics": format_table(
+            f"Synthesized fabrics, {cfg['n_racks']} racks x "
+            f"{'x'.join(map(str, cfg['rack_dims']))} torus "
+            "(cost model: switch 300 / cable 10)",
+            ["nodes", "racks", "switches", "cables", "cost",
+             "oversub", "bisect_gbps", "fingerprint"],
+            fabric_rows,
+        )
+    }
+
+    tier_rows = {}
+    for design, protocol in SYNTH_TIERED:
+        tl = res(f"synth-{design}")["tier_load"]
+        for tier_name in sorted(tl["tiers"]):
+            tier = tl["tiers"][tier_name]
+            saturation = tier["saturation"]
+            tier_rows[f"{design}[{protocol}]/{tier_name}"] = [
+                tier["links"],
+                f"{tier['capacity_bps'] / 1e9:g}",
+                f"{tier['max_load']:.3f}",
+                f"{tier['mean_load']:.3f}",
+                "inf" if saturation is None else f"{saturation:.4f}",
+                "<--" if tl["bottleneck"] == tier_name else "",
+            ]
+    out["synth_tier_load"] = format_table(
+        "Per-tier channel load under rack-shift traffic "
+        "(saturation = capacity-aware Fig. 2 throughput; <-- marks the "
+        "fabric bottleneck)",
+        ["links", "cap_gbps", "max_load", "mean_load", "saturation", ""],
+        tier_rows,
+    )
+
+    sim = res("sim-flat")
+    churn = res("churn-flat")["churn"]
+    oracle_ok = churn["max_rel_error"] <= churn["tolerance"]
+    n_nodes = res("synth-flat")["report"]["n_nodes"]
+    out["synth_campaign"] = "\n".join(
+        [
+            f"Multi-rack campaign on the flat fabric "
+            f"({cfg['n_racks']} racks, {n_nodes} nodes):",
+            f"  sim (4-shard rack cut): completion_rate="
+            f"{sim['completion_rate']:.3f}, "
+            f"flows={sim['summary']['flows']}",
+            f"  churn water-fill oracle: ops={churn['ops']}, "
+            f"max_rel_error={churn['max_rel_error']:.2e} "
+            f"(tolerance {churn['tolerance']:.0e}) "
+            f"{'PASS' if oracle_ok else 'FAIL'}",
+            f"  incremental_ops={churn['incremental_ops']}, "
+            f"fallback_recomputes={churn['fallback_recomputes']}",
+        ]
+    )
+    if not oracle_ok:
+        raise ExperimentError(
+            "synth: churn water-fill oracle exceeded tolerance "
+            f"({churn['max_rel_error']:.3e} > {churn['tolerance']:.0e})"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 FIGURES: Dict[str, FigureDef] = {
@@ -477,6 +661,13 @@ FIGURES: Dict[str, FigureDef] = {
             outputs=("fig18_adaptive_routing",),
             build=_build_fig18,
             aggregate=_aggregate_fig18,
+        ),
+        FigureDef(
+            name="synth",
+            title="Synthesized inter-rack fabrics and the multi-rack campaign",
+            outputs=("synth_fabrics", "synth_tier_load", "synth_campaign"),
+            build=_build_synth,
+            aggregate=_aggregate_synth,
         ),
     )
 }

@@ -40,7 +40,7 @@ __all__ = ["CACHE_SCHEMA_VERSION", "Scenario", "Campaign", "Task"]
 CACHE_SCHEMA_VERSION = 3
 
 #: Task kinds the executor knows how to run (see :mod:`.tasks`).
-TASK_KINDS = ("probe", "routing", "sim", "selection", "crossval", "churn")
+TASK_KINDS = ("probe", "routing", "sim", "selection", "crossval", "churn", "synth")
 
 #: Scenario fields that choose *how* a result is computed, never *what* it
 #: is — excluded from fingerprints so flipping them neither invalidates nor

@@ -18,6 +18,14 @@ Kinds:
 * ``crossval``  — the Figure 7 Maze-vs-simulator cross-validation pair.
 * ``churn``     — a seeded flow arrival/departure replay against the
   control-plane service state with a scratch-vs-incremental cross-check.
+* ``synth``     — one inter-rack fabric synthesis (:mod:`repro.topology.
+  synth`): generate under budgets, fingerprint, and analyze per-tier
+  channel load + bisection on the composed graph.
+
+Any task kind can run *on* a synthesized fabric by setting the scenario's
+``topology`` to ``"synth"`` — the fabric spec rides in ``params``
+(``design``/``n_racks``/``gateway_ports``/``synth_seed``/...), so churn
+and sim tasks scale past the rack without new plumbing.
 """
 
 from __future__ import annotations
@@ -50,6 +58,10 @@ def _build_topology(task: Task):
     if "latency_ns" in params:
         kwargs["latency_ns"] = int(params["latency_ns"])
     kind = task.scenario.topology
+    if kind == "synth":
+        from ..topology.synth import synthesize
+
+        return synthesize(_synth_spec(task)).topology
     if kind == "torus":
         return TorusTopology(task.scenario.dims, **kwargs)
     if kind == "mesh":
@@ -64,6 +76,37 @@ def _build_topology(task: Task):
             **kwargs,
         )
     raise ExperimentError(f"task {task.key}: unknown topology {kind!r}")
+
+
+def _synth_spec(task: Task):
+    """The :class:`~repro.topology.synth.FabricSpec` a scenario describes.
+
+    ``dims`` are the per-rack dims; everything else rides in params.  The
+    synthesis seed is ``synth_seed`` (default 0), *not* the task seed: the
+    fabric is scenario content and must be identical across replicates.
+    """
+    from ..topology.synth import FabricSpec
+
+    params = task.scenario.params_dict
+    kwargs = {}
+    if params.get("max_cost") is not None:
+        kwargs["max_cost"] = float(params["max_cost"])
+    return FabricSpec(
+        design=params.get("design", "flat"),
+        rack=params.get("rack", "torus"),
+        rack_dims=task.scenario.dims,
+        n_racks=int(params.get("n_racks", 8)),
+        gateway_ports=int(params.get("gateway_ports", 4)),
+        oversubscription=float(params.get("oversubscription", 64.0)),
+        capacity_bps=task.scenario.capacity_bps,
+        bridge_capacity_bps=params.get("bridge_capacity_bps"),
+        bridge_latency_ns=int(params.get("bridge_latency_ns", 500)),
+        seed=int(params.get("synth_seed", 0)),
+        switch_radix=int(params.get("switch_radix", 64)),
+        switch_cost=float(params.get("switch_cost", 300.0)),
+        cable_cost=float(params.get("cable_cost", 10.0)),
+        **kwargs,
+    )
 
 
 def _apply_failure_storm(task: Task, topology):
@@ -258,6 +301,7 @@ def _run_sim(task: Task, flight_sink: Optional[Dict[str, Any]] = None) -> Dict[s
             shards=task.scenario.shards,
             executor=params.get("shard_executor", "virtual"),
             telemetry_config=telemetry_config,
+            partition_strategy=params.get("partition_strategy", "auto"),
         )
         metrics = sharded.metrics
         snapshot = sharded.telemetry_snapshot or {}
@@ -431,6 +475,49 @@ def _run_churn(task: Task) -> Dict[str, Any]:
     )
 
 
+def _run_synth(task: Task) -> Dict[str, Any]:
+    from ..analysis import tiered_channel_loads
+    from ..routing.base import make_protocol
+    from ..topology import bisection_bandwidth_bps
+    from ..topology.synth import synthesize
+    from ..workloads.patterns import COMPOSED_PATTERNS, STANDARD_PATTERNS
+
+    params = task.scenario.params_dict
+    spec = _synth_spec(task)
+    fabric = synthesize(spec)
+    topology = fabric.topology
+    result: Dict[str, Any] = {
+        "design": spec.design,
+        "spec_fingerprint": spec.fingerprint(),
+        "fingerprint": fabric.fingerprint,
+        "report": dict(fabric.report),
+        "n_bridges": len(fabric.bridges),
+        "bisection_gbps": bisection_bandwidth_bps(topology) / 1e9,
+    }
+    protocol_name = params.get("protocol")
+    if protocol_name:
+        pattern_name = params.get("pattern", "rack-shift")
+        pattern = COMPOSED_PATTERNS.get(pattern_name) or STANDARD_PATTERNS.get(
+            pattern_name
+        )
+        if pattern is None:
+            raise ExperimentError(
+                f"task {task.key}: unknown pattern {pattern_name!r}"
+            )
+        protocol = make_protocol(protocol_name, topology)
+        tier_load = tiered_channel_loads(protocol, pattern.matrix(topology))
+        # An unloaded tier has infinite saturation; keep the JSON portable.
+        if tier_load["saturation"] == float("inf"):
+            tier_load["saturation"] = None
+        for tier in tier_load["tiers"].values():
+            if tier["saturation"] == float("inf"):
+                tier["saturation"] = None
+        result["protocol"] = protocol_name
+        result["pattern"] = pattern_name
+        result["tier_load"] = tier_load
+    return result
+
+
 _EXECUTORS = {
     "probe": _run_probe,
     "routing": _run_routing,
@@ -438,6 +525,7 @@ _EXECUTORS = {
     "selection": _run_selection,
     "crossval": _run_crossval,
     "churn": _run_churn,
+    "synth": _run_synth,
 }
 
 

@@ -12,7 +12,7 @@ Because a :class:`MultiRackFabric` *is* a
 broadcast trees, the packet simulator — runs across racks unchanged.
 """
 
-from .routing import HierarchicalRouting
+from .routing import HierarchicalRouting, HierarchicalVLB, HierarchicalWLB
 from .topology import MultiRackFabric, ring_of_racks, switched_multirack
 from .tunnel import (
     ETHERNET_MTU,
@@ -31,6 +31,8 @@ __all__ = [
     "ETHERTYPE_R2C2",
     "EthernetFrame",
     "HierarchicalRouting",
+    "HierarchicalVLB",
+    "HierarchicalWLB",
     "MultiRackFabric",
     "mac_for",
     "ring_of_racks",

@@ -111,6 +111,7 @@ class MultiRackFabric(Topology):
                 )
                 self._bridge_link_ids.append(link_id)
         self._links = tuple(links)
+        self._bridge_link_set = frozenset(self._bridge_link_ids)
 
     # ------------------------------------------------------------------
     # Rack-awareness helpers
@@ -168,7 +169,7 @@ class MultiRackFabric(Topology):
 
     def is_bridge_link(self, link_id: LinkId) -> bool:
         """True if the link is a gateway cable."""
-        return link_id in set(self._bridge_link_ids)
+        return link_id in self._bridge_link_set
 
     def oversubscription_ratio(self) -> float:
         """Rack bisection capacity divided by gateway capacity per rack pair.
@@ -179,6 +180,32 @@ class MultiRackFabric(Topology):
         """
         bridge_total = sum(link.capacity_bps for link in self.bridge_links()) / 2
         return (self._rack_size * self.capacity_bps) / max(bridge_total, 1e-12)
+
+    def composed_bisection_bps(self) -> float:
+        """Estimated bisection bandwidth of the composed fabric (bits/s).
+
+        The brute-force bisection search is infeasible beyond 16 nodes, so
+        composed graphs use a rack-granular estimate: racks are split into
+        two contiguous circular arcs of ``n_racks // 2`` racks and the cut
+        capacity is the gateway capacity crossing the arc boundary, minimized
+        over all arc rotations.  Intra-rack links never cross (rack ids are
+        contiguous), so this is exact whenever the optimal balanced cut is
+        rack-aligned and contiguous — true for the ring and a tight upper
+        bound for random regular bridge graphs.
+        """
+        n = self.n_racks
+        half = n // 2
+        best = None
+        for start in range(n):
+            arc = {(start + i) % n for i in range(half)}
+            crossing = sum(
+                link.capacity_bps
+                for link in self.bridge_links()
+                if (self.rack_of(link.src) in arc) != (self.rack_of(link.dst) in arc)
+            )
+            if best is None or crossing < best:
+                best = crossing
+        return float(best or 0.0)
 
 
 def ring_of_racks(

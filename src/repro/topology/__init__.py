@@ -10,6 +10,8 @@ Public surface:
 * :func:`bisection_channel_count`, :func:`bisection_bandwidth_bps`.
 * :class:`Partition` / :func:`partition_topology` — shard cuts for the
   parallel simulation engine (:mod:`repro.distsim`).
+* :class:`FabricSpec` / :func:`synthesize` — automated inter-rack fabric
+  synthesis under port/cost budgets (:mod:`repro.topology.synth`).
 """
 
 from .base import DEFAULT_CAPACITY_BPS, DEFAULT_LATENCY_NS, GraphTopology, Topology
@@ -17,6 +19,13 @@ from .bisection import bisection_bandwidth_bps, bisection_channel_count
 from .clos import FoldedClosTopology
 from .hypercube import HypercubeTopology
 from .partition import Partition, partition_topology
+from .synth import (
+    SYNTH_DESIGNS,
+    FabricSpec,
+    FatTreeFabric,
+    SynthesizedFabric,
+    synthesize,
+)
 from .paths import (
     ShortestPathDag,
     count_shortest_paths,
@@ -30,12 +39,16 @@ from .torus import MeshTopology, TorusTopology
 __all__ = [
     "DEFAULT_CAPACITY_BPS",
     "DEFAULT_LATENCY_NS",
+    "FabricSpec",
+    "FatTreeFabric",
     "FoldedClosTopology",
     "GraphTopology",
     "HypercubeTopology",
     "MeshTopology",
     "Partition",
+    "SYNTH_DESIGNS",
     "ShortestPathDag",
+    "SynthesizedFabric",
     "Topology",
     "TorusTopology",
     "bisection_bandwidth_bps",
@@ -46,4 +59,5 @@ __all__ = [
     "is_valid_path",
     "partition_topology",
     "path_links",
+    "synthesize",
 ]

@@ -53,7 +53,17 @@ def bisection_channel_count(topology: Topology) -> int:
 
 def bisection_bandwidth_bps(topology: Topology) -> float:
     """Aggregate capacity (bits/s) across the bisection, one direction summed
-    with the other (i.e. counting every crossing directed channel once)."""
+    with the other (i.e. counting every crossing directed channel once).
+
+    Composed multi-rack graphs (heterogeneous link capacities, too many
+    nodes for the brute-force fallback) provide their own estimate through
+    a ``composed_bisection_bps()`` hook — see
+    :meth:`repro.interrack.topology.MultiRackFabric.composed_bisection_bps`
+    and :meth:`repro.topology.synth.FatTreeFabric.composed_bisection_bps`.
+    """
+    hook = getattr(topology, "composed_bisection_bps", None)
+    if hook is not None:
+        return float(hook())
     return bisection_channel_count(topology) * topology.capacity_bps
 
 

@@ -18,6 +18,12 @@ volume) and shard balance.  Strategies:
 * folded Clos: hosts stay with their leaf, leaves are split into contiguous
   ranges, spines into contiguous ranges — the subtree cut (only leaf-spine
   links cross);
+* multi-rack fabrics (anything exposing ``rack_of``/``n_racks``, i.e.
+  :class:`~repro.interrack.topology.MultiRackFabric` and synthesized
+  :class:`~repro.topology.synth.FatTreeFabric`): racks are grouped into
+  contiguous ranges so only gateway cables cross shards and the
+  conservative window's lookahead becomes the gateway latency — the
+  natural minimum cut of a composed graph;
 * anything else (including the plain :class:`~repro.topology.Topology`
   failure views return): contiguous node-id blocks.
 
@@ -130,7 +136,8 @@ def partition_topology(topology: Topology, k: int, strategy: str = "auto") -> Pa
 
     Strategies: ``"auto"`` (pick per topology type), ``"slab"`` (contiguous
     ranges along the longest coordinate dimension; requires coordinates),
-    ``"subtree"`` (folded-Clos leaf subtrees; requires a Clos), ``"blocks"``
+    ``"subtree"`` (folded-Clos leaf subtrees; requires a Clos), ``"rack"``
+    (contiguous rack ranges; requires a multi-rack fabric), ``"blocks"``
     (contiguous node-id ranges; always available).
     """
     if k <= 0:
@@ -141,7 +148,9 @@ def partition_topology(topology: Topology, k: int, strategy: str = "auto") -> Pa
         )
 
     if strategy == "auto":
-        if _is_clos(topology):
+        if _is_multirack(topology):
+            strategy = "rack"
+        elif _is_clos(topology):
             strategy = "subtree"
         elif topology.dims is not None:
             strategy = "slab"
@@ -152,6 +161,8 @@ def partition_topology(topology: Topology, k: int, strategy: str = "auto") -> Pa
         assignment = _slab_assignment(topology, k)
     elif strategy == "subtree":
         assignment = _subtree_assignment(topology, k)
+    elif strategy == "rack":
+        assignment = _rack_assignment(topology, k)
     elif strategy == "blocks":
         assignment = _block_assignment(topology.n_nodes, k)
     else:
@@ -179,6 +190,35 @@ def _slab_assignment(topology: Topology, k: int) -> List[int]:
     return [
         topology.coordinates(node)[axis] * k // size for node in topology.nodes()
     ]
+
+
+def _is_multirack(topology: Topology) -> bool:
+    return hasattr(topology, "rack_of") and hasattr(topology, "n_racks")
+
+
+def _rack_assignment(topology: Topology, k: int) -> List[int]:
+    """Rack-aligned cut: racks grouped into ``k`` contiguous ranges.
+
+    Only gateway cables cross shards, so the conservative window's
+    lookahead equals the gateway latency.  Works for any topology exposing
+    ``rack_of``/``n_racks`` — :class:`~repro.interrack.topology.
+    MultiRackFabric` (where it cuts exactly the bridge links) and
+    :class:`~repro.topology.synth.FatTreeFabric` (whose switches are
+    spread round-robin over rack groups by its ``rack_of``).  With more
+    shards than racks a rack would have to straddle shards, so we fall
+    back to id blocks — which for rack-contiguous node ids is still a
+    near-rack-aligned cut.
+
+    Note failure views return plain :class:`Topology` objects without rack
+    attributes; "auto" then degrades to blocks, which preserves the same
+    contiguous-id structure.
+    """
+    if not _is_multirack(topology):
+        raise TopologyError(f"{topology.name} is not a multi-rack fabric")
+    n_racks = topology.n_racks
+    if k > n_racks:
+        return _block_assignment(topology.n_nodes, k)
+    return [topology.rack_of(node) * k // n_racks for node in topology.nodes()]
 
 
 def _is_clos(topology: Topology) -> bool:

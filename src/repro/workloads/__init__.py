@@ -9,11 +9,13 @@ from .generator import (
     uniform_random_pair,
 )
 from .patterns import (
+    COMPOSED_PATTERNS,
     STANDARD_PATTERNS,
     BitComplementPattern,
     BitReversePattern,
     NearestNeighborPattern,
     PermutationPattern,
+    RackShiftPattern,
     TornadoPattern,
     TrafficMatrix,
     TrafficPattern,
@@ -33,6 +35,7 @@ __all__ = [
     "BitComplementPattern",
     "BitReversePattern",
     "BurstArrivals",
+    "COMPOSED_PATTERNS",
     "DeterministicArrivals",
     "EmpiricalSizes",
     "FixedSize",
@@ -42,6 +45,7 @@ __all__ = [
     "ParetoSizes",
     "PermutationPattern",
     "PoissonArrivals",
+    "RackShiftPattern",
     "STANDARD_PATTERNS",
     "TornadoPattern",
     "TrafficMatrix",

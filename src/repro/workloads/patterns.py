@@ -182,6 +182,36 @@ class BitReversePattern(TrafficPattern):
         return out
 
 
+class RackShiftPattern(TrafficPattern):
+    """Every host sends to its same-local-id peer in the next rack.
+
+    The multi-rack analogue of tornado traffic: all load crosses rack
+    boundaries in the same rotational direction, stressing the gateway tier
+    of composed fabrics (see :mod:`repro.topology.synth`).  Requires a
+    topology exposing ``rack_of``/``n_racks``/``rack_size``; switches of a
+    fat-tree composition (ids at or above ``n_hosts``) neither send nor
+    receive.  The matrix support is O(N) — one pair per host — which keeps
+    Fig. 2-style analysis feasible at 10k nodes where uniform's O(N²)
+    support is not.
+    """
+
+    name = "rack-shift"
+
+    def matrix(self, topology: Topology) -> TrafficMatrix:
+        n_racks = getattr(topology, "n_racks", None)
+        rack_size = getattr(topology, "rack_size", None)
+        if n_racks is None or rack_size is None:
+            raise ReproError("rack-shift traffic needs a multi-rack fabric")
+        n_hosts = getattr(topology, "n_hosts", topology.n_nodes)
+        out: TrafficMatrix = {}
+        for src in range(n_hosts):
+            rack, local = divmod(src, rack_size)
+            dst = ((rack + 1) % n_racks) * rack_size + local
+            if dst != src:
+                out[(src, dst)] = 1.0
+        return out
+
+
 class PermutationPattern(TrafficPattern):
     """An explicit permutation traffic matrix (e.g. from worst-case search)."""
 
@@ -213,3 +243,7 @@ STANDARD_PATTERNS = {
         BitReversePattern(),
     )
 }
+
+#: Patterns defined only on composed multi-rack fabrics (kept out of
+#: STANDARD_PATTERNS, whose patterns all apply to single-rack topologies).
+COMPOSED_PATTERNS = {pattern.name: pattern for pattern in (RackShiftPattern(),)}

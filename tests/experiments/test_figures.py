@@ -21,7 +21,9 @@ SMALL = SCALES["small"]
 
 
 def test_registry_names_and_outputs():
-    assert sorted(FIGURES) == ["fig02", "fig07", "fig10_14", "fig17", "fig18"]
+    assert sorted(FIGURES) == [
+        "fig02", "fig07", "fig10_14", "fig17", "fig18", "synth",
+    ]
     for fig in FIGURES.values():
         assert fig.outputs, fig.name
 

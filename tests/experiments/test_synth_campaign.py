@@ -1,0 +1,69 @@
+"""The synth figure campaign: grid, determinism, caching, aggregation."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    FIGURES,
+    SCALES,
+    ExecutorConfig,
+    Scenario,
+    campaign_for,
+    run_campaign,
+)
+
+pytestmark = [pytest.mark.experiments, pytest.mark.synth]
+
+SMALL = SCALES["small"]
+_CONFIG = ExecutorConfig(workers=1, strict=True)
+
+
+def test_synth_campaign_small_grid():
+    campaign = campaign_for("synth", SMALL)
+    tasks = campaign.expand()
+    # 3 fabric designs + 1 sharded sim + 1 churn oracle.
+    assert len(tasks) == 5
+    assert {t.scenario.kind for t in tasks} == {"synth", "sim", "churn"}
+    assert len({t.seed for t in tasks}) == 5
+
+
+def test_synth_scenario_kind_validates():
+    assert Scenario(name="s", kind="synth").kind == "synth"
+    with pytest.raises(ExperimentError, match="unknown kind"):
+        Scenario(name="s", kind="synthesize")
+
+
+def test_synth_task_results_and_cache_round_trip(tmp_path):
+    campaign = campaign_for("synth", SMALL)
+    synth_only = type(campaign)(
+        name=campaign.name,
+        scenarios=[s for s in campaign.scenarios if s.kind == "synth"],
+        seed=campaign.seed,
+        description=campaign.description,
+    )
+    first = run_campaign(synth_only, _CONFIG, cache_dir=str(tmp_path))
+    assert first.status == "complete"
+    flat = first.results["synth-flat/r0"]
+    assert flat["design"] == "flat"
+    assert flat["report"]["budget_ok"] is True
+    assert flat["bisection_gbps"] > 0
+    assert flat["tier_load"]["bottleneck"] == "gateway"
+    assert first.results["synth-fattree/r0"]["report"]["switches"] >= 1
+
+    # Same campaign again: every synthesis is cache-satisfied (fingerprints
+    # are deterministic) and the results are identical.
+    second = run_campaign(synth_only, _CONFIG, cache_dir=str(tmp_path))
+    assert second.manifest["counts"]["cache_hits"] == 3
+    assert second.results == first.results
+
+
+def test_synth_aggregate_emits_all_tables(tmp_path):
+    campaign = campaign_for("synth", SMALL)
+    result = run_campaign(campaign, _CONFIG, cache_dir=str(tmp_path))
+    assert result.status == "complete"
+    tables = FIGURES["synth"].aggregate(result.results, SMALL)
+    assert sorted(tables) == sorted(FIGURES["synth"].outputs)
+    assert "flat" in tables["synth_fabrics"]
+    assert "gateway" in tables["synth_tier_load"]
+    assert "PASS" in tables["synth_campaign"]
+    assert "completion_rate=1.000" in tables["synth_campaign"]

@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for fabric synthesis invariants."""
+
+from collections import deque
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.topology import FabricSpec, synthesize
+
+pytestmark = pytest.mark.synth
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _flat_spec(n_racks, ports, seed):
+    return FabricSpec(
+        design="flat",
+        rack="torus",
+        rack_dims=(2, 2),
+        n_racks=n_racks,
+        gateway_ports=ports,
+        seed=seed,
+    )
+
+
+def _connected(topology):
+    seen = {0}
+    frontier = deque([0])
+    while frontier:
+        node = frontier.popleft()
+        for peer in topology.neighbors(node):
+            if peer not in seen:
+                seen.add(peer)
+                frontier.append(peer)
+    return len(seen) == topology.n_nodes
+
+
+class TestFlatDesign:
+    @given(
+        n_racks=st.integers(min_value=3, max_value=10),
+        ports=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(**_SETTINGS)
+    def test_port_budget_and_connectivity(self, n_racks, ports, seed):
+        assume(ports < n_racks and (n_racks * ports) % 2 == 0)
+        fabric = synthesize(_flat_spec(n_racks, ports, seed))
+        # Port budget: every rack uses exactly its gateway-port budget.
+        per_rack = [0] * n_racks
+        for rack_a, _la, rack_b, _lb in fabric.bridges:
+            per_rack[rack_a] += 1
+            per_rack[rack_b] += 1
+        assert all(used <= ports for used in per_rack)
+        assert fabric.report["gateway_ports_per_rack"] <= ports
+        assert fabric.report["budget_ok"] is True
+        assert _connected(fabric.topology)
+
+    @given(
+        n_racks=st.integers(min_value=3, max_value=8),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(**_SETTINGS)
+    def test_node_id_arithmetic_matches_multirack(self, n_racks, seed):
+        assume(n_racks % 2 == 0 or True)
+        assume((n_racks * 2) % 2 == 0)
+        fabric = synthesize(_flat_spec(n_racks, 2, seed))
+        topo = fabric.topology
+        rack_size = topo.rack_size
+        for node in topo.nodes():
+            rack, local = divmod(node, rack_size)
+            assert topo.rack_of(node) == rack
+            assert topo.local_id(node) == local
+            assert topo.global_id(rack, local) == node
+
+    @given(
+        n_racks=st.integers(min_value=3, max_value=8),
+        ports=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(**_SETTINGS)
+    def test_fingerprints_byte_stable(self, n_racks, ports, seed):
+        assume(ports < n_racks and (n_racks * ports) % 2 == 0)
+        first = synthesize(_flat_spec(n_racks, ports, seed))
+        second = synthesize(_flat_spec(n_racks, ports, seed))
+        assert first.spec.fingerprint() == second.spec.fingerprint()
+        assert first.fingerprint == second.fingerprint
+        assert first.bridges == second.bridges
+
+
+class TestFatTreeDesign:
+    @given(
+        n_racks=st.integers(min_value=2, max_value=10),
+        radix=st.integers(min_value=4, max_value=16),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    @settings(**_SETTINGS)
+    def test_budgets_respected(self, n_racks, radix, seed):
+        spec = FabricSpec(
+            design="fattree",
+            rack="torus",
+            rack_dims=(2, 2),
+            n_racks=n_racks,
+            gateway_ports=2,
+            oversubscription=1e9,
+            switch_radix=radix,
+            seed=seed,
+        )
+        fabric = synthesize(spec)
+        report = fabric.report
+        assert report["gateway_ports_per_rack"] <= spec.gateway_ports
+        assert report["cost"] == pytest.approx(
+            report["switches"] * spec.switch_cost
+            + report["cables"] * spec.cable_cost
+        )
+        assert _connected(fabric.topology)
+
+    @given(max_cost=st.floats(min_value=100.0, max_value=2000.0))
+    @settings(**_SETTINGS)
+    def test_cost_ceiling_never_exceeded(self, max_cost):
+        spec = FabricSpec(
+            design="fattree",
+            rack="torus",
+            rack_dims=(2, 2),
+            n_racks=4,
+            gateway_ports=2,
+            oversubscription=1e9,
+            max_cost=max_cost,
+        )
+        try:
+            fabric = synthesize(spec)
+        except Exception:
+            return  # budget infeasible: rejection is the contract
+        assert fabric.report["cost"] <= max_cost

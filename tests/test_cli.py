@@ -134,3 +134,76 @@ class TestSweep:
         table = (results / "fig02_routing_table.txt").read_text()
         assert table.startswith("\n===== fig02_routing_table [scale=small] =====")
         assert "| paper:" in table
+
+
+@pytest.mark.synth
+class TestSynth:
+    def test_describe(self, capsys):
+        assert main(
+            [
+                "synth", "describe", "--racks", "4", "--rack-dims", "2x2",
+                "--gateway-ports", "2", "--protocol", "hier_wlb",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "nodes:             16 (4 racks x 4 nodes)" in out
+        assert "fabric fingerprint:" in out
+        assert "per-tier channel load:" in out
+        assert "<-- bottleneck" in out
+
+    def test_generate_manifest_and_report(self, tmp_path, capsys):
+        manifest = tmp_path / "fabric.json"
+        argv = [
+            "synth", "generate", "--racks", "4", "--rack-dims", "2x2",
+            "--gateway-ports", "2", "--seed", "9",
+            "--protocol", "hier_vlb", "--out", str(manifest),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        import json
+
+        first = json.loads(manifest.read_text())
+        assert first["report"]["budget_ok"] is True
+        assert first["tier_load"]["tiers"]["gateway"]["links"] > 0
+        # Regenerating the same spec must produce identical bytes.
+        blob = manifest.read_text()
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert manifest.read_text() == blob
+        # `repro report` renders the per-tier table and bisection.
+        assert main(["report", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "per-tier channel load:" in out
+        assert "bisection bandwidth:" in out
+
+    def test_budget_violation_is_a_cli_error(self, capsys):
+        assert main(
+            [
+                "synth", "describe", "--design", "ring",
+                "--racks", "4", "--rack-dims", "2x2",
+                "--oversubscription", "0.5",
+            ]
+        ) == 2
+        assert "oversubscription" in capsys.readouterr().err
+
+    def test_sweep_dry_run(self, capsys):
+        assert main(["synth", "sweep", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign synth" in out
+        assert "synth-flat/r0" in out
+
+    def test_sweep_writes_tables(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        assert main(
+            [
+                "synth", "sweep",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--results-dir", str(results),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+        table = (results / "synth_tier_load.txt").read_text()
+        assert "gateway" in table
+        campaign = (results / "synth_campaign.txt").read_text()
+        assert "PASS" in campaign
